@@ -1,0 +1,50 @@
+"""Shared configuration for the benchmark harness.
+
+Environment knobs:
+
+- ``REPRO_SCALE``   — ``smoke`` (default) or ``paper`` dataset dimensions;
+- ``REPRO_EPOCHS``  — training epochs per run (default 4 in smoke);
+- ``REPRO_TABLE3_DATASETS`` — comma list restricting the Table III sweep.
+
+Every trained benchmark uses ``benchmark.pedantic(..., rounds=1)`` so
+pytest-benchmark does not retrain models repeatedly; the timing it
+records is the full train+evaluate wall clock for that experiment.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "smoke")
+
+
+def epochs(default: int = 4) -> int:
+    return int(os.environ.get("REPRO_EPOCHS", str(default)))
+
+
+def horizons() -> tuple[int, int]:
+    """Scaled stand-ins for the paper's {96, 336} horizons."""
+    if scale() == "paper":
+        return 96, 336
+    return 24, 48
+
+
+def lookback() -> int:
+    """Scaled stand-in for the paper's 512-step lookback."""
+    return 512 if scale() == "paper" else 96
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return scale()
+
+
+def pytest_report_header(config):
+    return (
+        f"repro benchmarks: scale={scale()} epochs={epochs()} "
+        f"lookback={lookback()} horizons={horizons()}"
+    )

@@ -1,0 +1,126 @@
+"""Fig. 6: FLOPs, peak (activation) memory, and parameter count vs input
+length, for FOCUS and all baselines.
+
+No training is involved — the paper's efficiency comparison is a pure
+inference measurement, and the profiler accounts it analytically from a
+single forward pass per (model, L).  The reproduction target is the
+*shape*: FOCUS's FLOPs/memory grow linearly and sit at or near the bottom
+of the attention-based group, while all-pairs attention (PatchTST,
+FOCUS-Attn) grows superlinearly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import scale
+from repro.core import FOCUSConfig, FOCUSForecaster
+from repro.data import load_dataset
+from repro.profiling import profile_model
+from repro.training import ExperimentConfig, build_model
+from repro.training.reporting import format_table
+
+MODELS = [
+    "FOCUS",
+    "FOCUS-Attn",
+    "PatchTST",
+    "Crossformer",
+    "MTGNN",
+    "GraphWavenet",
+    "TimesNet",
+    "LightCTS",
+    "DLinear",
+]
+
+LENGTHS = [96, 192, 384, 768]
+HORIZON = 24
+
+
+def profile_all(data):
+    rows = []
+    for model_name in MODELS:
+        for length in LENGTHS:
+            config = ExperimentConfig(
+                model=model_name,
+                dataset="PEMS08",
+                lookback=length,
+                horizon=HORIZON,
+                trainer=None,  # unused
+            )
+            # build_model runs offline clustering for FOCUS; cheap at smoke scale
+            config.trainer = None
+            model = build_model(config, data)
+            report = profile_model(model, (1, length, data.num_entities))
+            rows.append(
+                {
+                    "model": model_name,
+                    "L": length,
+                    "flops_m": round(report.mflops, 2),
+                    "mem_mb": round(report.activation_mb, 3),
+                    "params_k": round(report.parameter_k, 1),
+                }
+            )
+    return rows
+
+
+def test_fig6_efficiency(benchmark):
+    data = load_dataset("PEMS08", scale=scale(), seed=0)
+    rows = benchmark.pedantic(lambda: profile_all(data), rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Fig. 6 — FLOPs / memory / params vs input length"))
+
+    def flops(model, length):
+        return next(
+            r["flops_m"] for r in rows if r["model"] == model and r["L"] == length
+        )
+
+    # FOCUS grows linearly in L: 8x length -> ~8x FLOPs (not 64x).
+    growth = flops("FOCUS", 768) / flops("FOCUS", 96)
+    assert growth < 12.0, f"FOCUS FLOPs growth {growth:.1f}x over 8x length"
+
+    # All-pairs attention grows strictly faster than FOCUS.
+    attn_growth = flops("FOCUS-Attn", 768) / flops("FOCUS-Attn", 96)
+    patch_growth = flops("PatchTST", 768) / flops("PatchTST", 96)
+    assert attn_growth > growth
+    assert patch_growth > growth
+
+    # At the longest input, FOCUS is cheaper than every *all-pairs
+    # attention* model (the paper's headline efficiency claim; Crossformer
+    # also uses a linear-complexity router trick, so it is excluded here
+    # and compared on growth rate instead).
+    for rival in ["FOCUS-Attn", "PatchTST"]:
+        assert flops("FOCUS", 768) < flops(rival, 768), rival
+
+    # FOCUS has the lowest FLOPs growth rate of all attention-based models.
+    for rival in ["FOCUS-Attn", "PatchTST", "Crossformer"]:
+        rival_growth = flops(rival, 768) / flops(rival, 96)
+        assert growth <= rival_growth + 1e-9, rival
+
+
+def test_fig6_memory_shape(benchmark):
+    """Activation memory mirrors the FLOPs story (Fig. 6 middle panel)."""
+    data = load_dataset("PEMS08", scale=scale(), seed=0)
+
+    def run():
+        out = {}
+        for model_name in ["FOCUS", "FOCUS-Attn", "PatchTST"]:
+            per_length = []
+            for length in (96, 768):
+                config = ExperimentConfig(
+                    model=model_name, dataset="PEMS08", lookback=length, horizon=HORIZON
+                )
+                model = build_model(config, data)
+                per_length.append(
+                    profile_model(model, (1, length, data.num_entities)).activation_mb
+                )
+            out[model_name] = per_length
+        return out
+
+    memory = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, (short, long) in memory.items():
+        print(f"  {name:12s} mem @L=96 {short:8.3f}MB  @L=768 {long:8.3f}MB  x{long/short:.1f}")
+    focus_growth = memory["FOCUS"][1] / memory["FOCUS"][0]
+    attn_growth = memory["FOCUS-Attn"][1] / memory["FOCUS-Attn"][0]
+    assert focus_growth < attn_growth

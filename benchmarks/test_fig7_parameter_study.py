@@ -1,0 +1,148 @@
+"""Fig. 7: hyperparameter sensitivity of FOCUS on PEMS08.
+
+Four sweeps, each printing accuracy plus analytic FLOPs / memory so the
+paper's cost-vs-accuracy trade-off curves can be regenerated:
+
+- (a) number of prototypes k — cost grows with k, accuracy plateaus;
+- (b) embedding size d — cost grows, accuracy saturates;
+- (c) input window L — accuracy improves, cost grows linearly;
+- (d) patch length p — shorter patches cost more, help accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import epochs, scale
+from repro.data import load_dataset
+from repro.profiling import profile_model
+from repro.training import ExperimentConfig, TrainerConfig, Trainer, build_model
+from repro.training.reporting import format_table
+
+HORIZON = 24
+
+
+def run_setting(data, lookback=96, **overrides):
+    trainer_cfg = TrainerConfig(
+        epochs=epochs(), batch_size=32, lr=5e-3, patience=99, restore_best=False
+    )
+    config = ExperimentConfig(
+        model="FOCUS", dataset="PEMS08", lookback=lookback, horizon=HORIZON, **overrides
+    )
+    model = build_model(config, data)
+    trainer = Trainer(model, trainer_cfg)
+    trainer.fit(
+        data.windows("train", lookback, HORIZON, stride=2),
+        data.windows("val", lookback, HORIZON),
+    )
+    metrics = trainer.evaluate(data.windows("test", lookback, HORIZON), stride_subsample=4)
+    profile = profile_model(model, (1, lookback, data.num_entities))
+    return metrics, profile
+
+
+@pytest.fixture(scope="module")
+def data():
+    return load_dataset("PEMS08", scale=scale(), seed=0)
+
+
+def test_fig7a_prototypes(data, benchmark):
+    def sweep():
+        rows = []
+        for k in (2, 4, 8, 16, 32):
+            metrics, profile = run_setting(data, num_prototypes=k)
+            rows.append(
+                {
+                    "k": k,
+                    "mse": round(metrics["mse"], 4),
+                    "mae": round(metrics["mae"], 4),
+                    "flops_m": round(profile.mflops, 2),
+                    "mem_mb": round(profile.activation_mb, 3),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Fig. 7a — impact of number of prototypes k"))
+    flops = [row["flops_m"] for row in rows]
+    assert flops == sorted(flops), "FLOPs must increase monotonically with k"
+    # Accuracy gains plateau: best k is not the largest by a big margin.
+    best = min(row["mse"] for row in rows)
+    assert rows[-1]["mse"] < best * 1.5
+
+
+def test_fig7b_embedding(data, benchmark):
+    def sweep():
+        rows = []
+        for d in (16, 32, 64, 128):
+            metrics, profile = run_setting(data, d_model=d)
+            rows.append(
+                {
+                    "d": d,
+                    "mse": round(metrics["mse"], 4),
+                    "mae": round(metrics["mae"], 4),
+                    "flops_m": round(profile.mflops, 2),
+                    "mem_mb": round(profile.activation_mb, 3),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Fig. 7b — impact of embedding size d"))
+    flops = [row["flops_m"] for row in rows]
+    assert flops == sorted(flops)
+    # Marginal accuracy gains shrink while cost keeps rising.
+    assert rows[-1]["flops_m"] > 3 * rows[0]["flops_m"]
+
+
+def test_fig7c_input_window(data, benchmark):
+    def sweep():
+        rows = []
+        for lookback in (48, 96, 192, 384):
+            metrics, profile = run_setting(data, lookback=lookback)
+            rows.append(
+                {
+                    "L": lookback,
+                    "mse": round(metrics["mse"], 4),
+                    "mae": round(metrics["mae"], 4),
+                    "flops_m": round(profile.mflops, 2),
+                    "mem_mb": round(profile.activation_mb, 3),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Fig. 7c — impact of input window L"))
+    flops = [row["flops_m"] for row in rows]
+    assert flops == sorted(flops)
+    # Longer context should not hurt: best-of-longer <= worst-of-shortest.
+    assert min(r["mse"] for r in rows[1:]) <= rows[0]["mse"] * 1.2
+    # Linear scaling: 8x window -> <12x FLOPs.
+    assert flops[-1] / flops[0] < 12.0
+
+
+def test_fig7d_patch_length(data, benchmark):
+    def sweep():
+        rows = []
+        for p in (4, 8, 12, 24):
+            metrics, profile = run_setting(data, segment_length=p)
+            rows.append(
+                {
+                    "p": p,
+                    "mse": round(metrics["mse"], 4),
+                    "mae": round(metrics["mae"], 4),
+                    "flops_m": round(profile.mflops, 2),
+                    "mem_mb": round(profile.activation_mb, 3),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Fig. 7d — impact of patch length p"))
+    # Shorter patches -> more segments -> more FLOPs (paper's trade-off).
+    assert rows[0]["flops_m"] > rows[-1]["flops_m"]
+    assert all(np.isfinite(row["mse"]) for row in rows)

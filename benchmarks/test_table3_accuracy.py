@@ -1,0 +1,98 @@
+"""Table III: long-range forecasting accuracy, 8 models x 7 datasets x 2
+horizons.
+
+Prints one table per (dataset, horizon) cellblock with the same columns
+the paper reports (MSE / MAE, lower is better), plus each model's rank.
+Scaled-down protocol (documented in EXPERIMENTS.md): smoke-scale synthetic
+datasets, lookback 96 (paper: 512), horizons {24, 48} (paper: {96, 336}),
+shared trainer budget for every model.  The reproduction target is the
+*ranking shape* — FOCUS at or near the top, DLinear competitive, the
+heavy graph models behind on the electricity-style sets — not absolute
+values.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import epochs, horizons, lookback, scale
+from repro.data import load_dataset
+from repro.training import ExperimentConfig, TrainerConfig, run_experiment
+from repro.training.reporting import format_table, rank_by
+
+ALL_MODELS = [
+    "FOCUS",
+    "PatchTST",
+    "Crossformer",
+    "MTGNN",
+    "GraphWavenet",
+    "TimesNet",
+    "LightCTS",
+    "DLinear",
+]
+
+ALL_DATASETS = ["PEMS04", "PEMS08", "ETTh1", "ETTm1", "Traffic", "Electricity", "Weather"]
+
+
+def selected_datasets() -> list[str]:
+    override = os.environ.get("REPRO_TABLE3_DATASETS")
+    if override:
+        return [name.strip() for name in override.split(",") if name.strip()]
+    return ALL_DATASETS
+
+
+@pytest.mark.parametrize("dataset", selected_datasets())
+def test_table3_dataset(dataset, benchmark):
+    data = load_dataset(dataset, scale=scale(), seed=0)
+    trainer = TrainerConfig(
+        epochs=epochs(6),
+        batch_size=32,
+        lr=5e-3,
+        seed=0,
+        patience=99,  # val on smoke-scale synthetic splits is too noisy to
+        restore_best=False,  # truncate or restore from; keep final weights
+    )
+
+    def run_block():
+        rows = []
+        for horizon in horizons():
+            for model in ALL_MODELS:
+                config = ExperimentConfig(
+                    model=model,
+                    dataset=dataset,
+                    lookback=lookback(),
+                    horizon=horizon,
+                    scale=scale(),
+                    trainer=trainer,
+                    eval_stride=4,
+                    train_stride=2,
+                )
+                result = run_experiment(config, data)
+                rows.append(result.row())
+        return rows
+
+    rows = benchmark.pedantic(run_block, rounds=1, iterations=1)
+
+    for horizon in horizons():
+        block = [row for row in rows if row["horizon"] == horizon]
+        ranked = rank_by(block, "mse")
+        for position, row in enumerate(ranked, start=1):
+            row["rank"] = position
+        print()
+        print(format_table(ranked, title=f"Table III block — {dataset}, horizon {horizon}"))
+
+    # Sanity of the reproduction shape: every result finite, and FOCUS in
+    # the top half of the ranking on this dataset (the paper has it top-1
+    # on 26/28 settings; the scaled-down run targets the same direction
+    # without asserting flaky exact ranks).
+    assert all(np.isfinite(row["mse"]) for row in rows)
+    for horizon in horizons():
+        block = rank_by([row for row in rows if row["horizon"] == horizon], "mse")
+        focus_rank = [row["model"] for row in block].index("FOCUS") + 1
+        assert focus_rank <= len(ALL_MODELS) // 2 + 1, (
+            f"FOCUS ranked {focus_rank} on {dataset} h={horizon}: "
+            f"{[(r['model'], r['mse']) for r in block]}"
+        )

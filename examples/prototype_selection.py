@@ -1,0 +1,44 @@
+"""Choosing the offline-phase hyperparameters (paper Sec. VIII-A).
+
+The paper selects the segment length p and prototype count k by grid
+search.  This example runs the unsupervised sweep on ETTm1 — inertia and
+silhouette per (k, p) cell — then applies the inertia-elbow rule to pick
+k automatically.
+
+Run:  python examples/prototype_selection.py
+"""
+
+from repro.core import select_num_prototypes, sweep_clustering
+from repro.data import load_dataset
+from repro.training.reporting import format_table
+
+
+def main():
+    data = load_dataset("ETTm1", scale="smoke", seed=0)
+    print(f"ETTm1 surrogate: {data.train.shape[0]} steps x {data.num_entities} channels\n")
+
+    results = sweep_clustering(
+        data.train,
+        num_prototypes_grid=[2, 4, 8, 16],
+        segment_length_grid=[8, 16, 24],
+        alpha=0.2,
+        seed=0,
+    )
+    rows = [
+        {
+            "k": r.num_prototypes,
+            "p": r.segment_length,
+            "inertia": round(r.inertia, 4),
+            "silhouette": round(r.silhouette, 3),
+        }
+        for r in results
+    ]
+    print(format_table(rows, title="Clustering grid search (lower inertia / higher silhouette better)"))
+
+    for p in (8, 16, 24):
+        k = select_num_prototypes(data.train, p, candidates=(2, 4, 8, 16, 32), seed=0)
+        print(f"inertia-elbow choice for p={p}: k={k}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Outlier-robust forecasting demo (the paper's Sec. VIII-E scenario).
+
+Corrupts a fraction of the training data with >3-sigma spikes (faulty
+sensors), retrains FOCUS on the dirty data, and shows the accuracy drop
+stays small — the nearest-prototype assignment shrugs off isolated
+outliers.
+
+Run:  python examples/robust_forecasting.py
+"""
+
+import numpy as np
+
+from repro.data import inject_outliers, load_dataset
+from repro.training import ExperimentConfig, Trainer, TrainerConfig, build_model
+from repro.training.reporting import format_table
+
+LOOKBACK, HORIZON = 96, 24
+
+
+def train_and_eval(data, clean_test_windows):
+    config = ExperimentConfig(model="FOCUS", dataset="PEMS08",
+                              lookback=LOOKBACK, horizon=HORIZON)
+    model = build_model(config, data)
+    trainer = Trainer(
+        model,
+        TrainerConfig(epochs=4, batch_size=32, lr=5e-3, patience=99,
+                      restore_best=False),
+    )
+    trainer.fit(
+        data.windows("train", LOOKBACK, HORIZON, stride=2),
+        data.windows("val", LOOKBACK, HORIZON),
+    )
+    return trainer.evaluate(clean_test_windows, stride_subsample=4)
+
+
+def main():
+    clean = load_dataset("PEMS08", scale="smoke", seed=0)
+    rows = []
+    for ratio in (0.0, 0.05, 0.10):
+        corrupted_raw, mask = inject_outliers(clean.raw, ratio, seed=7)
+        dirty = load_dataset("PEMS08", scale="smoke", seed=0,
+                             raw_override=corrupted_raw)
+        # Evaluate on the clean test series in the dirty model's input space.
+        dirty.test = dirty.scaler.transform(
+            clean.scaler.inverse_transform(clean.test)
+        )
+        print(f"training FOCUS with {ratio:.0%} outliers "
+              f"({mask.sum()} corrupted points) ...")
+        metrics = train_and_eval(dirty, dirty.windows("test", LOOKBACK, HORIZON))
+        rows.append(
+            {
+                "outlier_ratio": f"{ratio:.0%}",
+                "test_mse": round(metrics["mse"], 4),
+                "test_mae": round(metrics["mae"], 4),
+            }
+        )
+
+    print()
+    print(format_table(rows, title="FOCUS accuracy under training outliers"))
+    degradation = rows[-1]["test_mse"] / max(rows[0]["test_mse"], 1e-12)
+    print(f"\naccuracy degradation at 10% corruption: x{degradation:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Thin setup.py shim: this environment lacks the `wheel` package, so the
+PEP 517 editable path (which needs bdist_wheel) fails; the legacy
+`setup.py develop` path used by `pip install -e . --no-use-pep517` works."""
+from setuptools import setup
+
+setup()

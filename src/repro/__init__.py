@@ -1,0 +1,33 @@
+"""FOCUS (ICDE 2025) reproduction.
+
+``repro`` implements *Accurate and Efficient Multivariate Time Series
+Forecasting via Offline Clustering* end-to-end, including every substrate
+the paper depends on:
+
+- ``repro.autograd`` / ``repro.nn`` / ``repro.optim`` — a from-scratch
+  numpy deep-learning stack standing in for PyTorch.
+- ``repro.data`` — synthetic equivalents of the seven public benchmark
+  datasets (ETTh1, ETTm1, Traffic, Electricity, Weather, PEMS04, PEMS08).
+- ``repro.core`` — FOCUS itself: offline segment clustering, ProtoAttn,
+  the dual-branch extractor, and the parallel fusion forecasting head.
+- ``repro.baselines`` — the seven comparison models from the paper.
+- ``repro.training`` / ``repro.profiling`` / ``repro.analysis`` — the
+  training loop, the FLOPs/memory/parameter accounting used by the paper's
+  efficiency figures, and the analysis tooling behind its case studies.
+
+See ``DESIGN.md`` for the full system inventory and per-experiment index.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autograd",
+    "nn",
+    "optim",
+    "data",
+    "core",
+    "baselines",
+    "training",
+    "profiling",
+    "analysis",
+]

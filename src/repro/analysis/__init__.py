@@ -1,0 +1,40 @@
+"""Analysis tooling behind the paper's case studies (Figs. 9, 11-13).
+
+- :mod:`repro.analysis.tsne` — exact t-SNE (the paper uses t-SNE to
+  compare train/test segment distributions in Sec. VIII-D);
+- :mod:`repro.analysis.approximation` — prototype-based series
+  approximation with moment restoration (Fig. 11);
+- :mod:`repro.analysis.dependency` — learned long-range dependency
+  extraction ``A x attention`` (Fig. 13);
+- :mod:`repro.analysis.generalization` — unseen-segment scoring of test
+  instances (Fig. 9).
+"""
+
+from repro.analysis.tsne import tsne
+from repro.analysis.approximation import approximate_series
+from repro.analysis.dependency import extract_dependencies
+from repro.analysis.generalization import unseen_segment_scores, select_unseen_instances
+from repro.analysis.recurrence import (
+    prototype_usage,
+    recurrence_report,
+    spatial_recurrence,
+    temporal_recurrence,
+)
+from repro.analysis.horizon import HorizonProfile, horizon_error_profile
+from repro.analysis.attribution import AttributionResult, prototype_importance
+
+__all__ = [
+    "tsne",
+    "approximate_series",
+    "extract_dependencies",
+    "unseen_segment_scores",
+    "select_unseen_instances",
+    "prototype_usage",
+    "recurrence_report",
+    "spatial_recurrence",
+    "temporal_recurrence",
+    "HorizonProfile",
+    "horizon_error_profile",
+    "AttributionResult",
+    "prototype_importance",
+]

@@ -1,0 +1,47 @@
+"""Learned long-range dependency extraction (paper Fig. 13).
+
+The paper visualizes dependencies "obtained by directly multiplying the
+assignment matrix with the online correlation matrix": for each segment
+``i`` assigned to prototype ``q_i``, its dependency row over all
+segments is the attention row of ``q_i``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import autograd as ag
+from repro.autograd import Tensor
+from repro.core.model import FOCUSForecaster
+
+
+@dataclasses.dataclass
+class DependencyResult:
+    """Dependency map of one window's temporal segments."""
+
+    matrix: np.ndarray  # (l, l) averaged over entities
+    per_entity: np.ndarray  # (N, l, l)
+    assignment: np.ndarray  # (N, l) prototype index per segment
+
+
+def extract_dependencies(model: FOCUSForecaster, window: np.ndarray) -> DependencyResult:
+    """Run one window ``(L, N)`` through FOCUS and return its temporal
+    dependency matrices."""
+    window = np.asarray(window, dtype=np.float64)
+    if window.ndim != 2:
+        raise ValueError("expected a single (L, N) window")
+    model.eval()
+    with ag.no_grad():
+        model(Tensor(window[None]))
+    per_sequence = model.dependency_matrix()  # (1*N, l, l)
+    mixer = model.extractor.temporal_mixer
+    assignment = mixer.last_assignment_
+    num_entities = model.config.num_entities
+    per_entity = per_sequence.reshape(num_entities, *per_sequence.shape[1:])
+    return DependencyResult(
+        matrix=per_entity.mean(axis=0),
+        per_entity=per_entity,
+        assignment=assignment.reshape(num_entities, -1),
+    )

@@ -1,0 +1,60 @@
+"""Unseen-segment analysis for the generalization study (paper Sec. VIII-D).
+
+Test windows are scored by how far their segments fall from the training
+segment distribution (distance to the nearest training prototype,
+normalized by the training split's own distance distribution).  The
+highest-scoring windows are the "instances containing unseen segments"
+on which the paper compares FOCUS and PatchTST (Fig. 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.clustering import SegmentClusterer, composite_distance
+from repro.data.segments import segment_series
+from repro.data.windows import SlidingWindowDataset
+
+
+def unseen_segment_scores(
+    clusterer: SegmentClusterer,
+    train_data: np.ndarray,
+    windows: SlidingWindowDataset,
+) -> np.ndarray:
+    """Score each test window by its most-unseen segment.
+
+    The score is the window's maximum nearest-prototype distance divided
+    by the 95th percentile of training-segment distances: scores > 1 mean
+    the window contains shapes essentially absent from training.
+    """
+    cfg = clusterer.config
+    train_segments = segment_series(np.asarray(train_data), cfg.segment_length)
+    train_dists = composite_distance(
+        train_segments, clusterer.prototypes_, cfg.effective_alpha
+    ).min(axis=1)
+    reference = float(np.quantile(train_dists, 0.95))
+    reference = max(reference, 1e-12)
+
+    scores = np.zeros(len(windows))
+    for i in range(len(windows)):
+        x_window, _ = windows[i]
+        segments = segment_series(x_window, cfg.segment_length)
+        dists = composite_distance(
+            segments, clusterer.prototypes_, cfg.effective_alpha
+        ).min(axis=1)
+        scores[i] = float(dists.max()) / reference
+    return scores
+
+
+def select_unseen_instances(
+    clusterer: SegmentClusterer,
+    train_data: np.ndarray,
+    windows: SlidingWindowDataset,
+    top_fraction: float = 0.1,
+) -> np.ndarray:
+    """Indices of the most unseen-heavy test windows (descending score)."""
+    if not 0.0 < top_fraction <= 1.0:
+        raise ValueError("top_fraction must lie in (0, 1]")
+    scores = unseen_segment_scores(clusterer, train_data, windows)
+    count = max(int(round(len(scores) * top_fraction)), 1)
+    return np.argsort(scores)[::-1][:count]

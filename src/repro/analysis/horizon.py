@@ -1,0 +1,68 @@
+"""Per-step error profiles over the forecast horizon.
+
+Long-horizon forecasters degrade as the lead time grows; the *shape* of
+that degradation (flat vs exploding) distinguishes models that capture
+long-range structure from ones that extrapolate locally.  These helpers
+compute MSE/MAE per forecast step and per entity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import autograd as ag
+from repro.autograd import Tensor
+from repro.data.windows import SlidingWindowDataset
+from repro.nn import Module
+
+
+@dataclasses.dataclass
+class HorizonProfile:
+    """Per-lead-time error curves."""
+
+    mse_per_step: np.ndarray  # (L_f,)
+    mae_per_step: np.ndarray  # (L_f,)
+    mse_per_entity: np.ndarray  # (N,)
+
+    @property
+    def degradation(self) -> float:
+        """Last-step MSE over first-step MSE (1.0 = flat profile)."""
+        first = max(float(self.mse_per_step[0]), 1e-12)
+        return float(self.mse_per_step[-1]) / first
+
+
+def horizon_error_profile(
+    model: Module,
+    windows: SlidingWindowDataset,
+    batch_size: int = 64,
+    max_windows: int | None = None,
+    stride: int = 1,
+) -> HorizonProfile:
+    """Evaluate ``model`` and aggregate errors by forecast step / entity."""
+    model.eval()
+    indices = np.arange(0, len(windows), stride)
+    if max_windows is not None:
+        indices = indices[:max_windows]
+    squared_sum = None
+    absolute_sum = None
+    count = 0
+    with ag.no_grad():
+        for start in range(0, len(indices), batch_size):
+            batch_idx = indices[start : start + batch_size]
+            xs, ys = windows.batch(batch_idx)
+            preds = model(Tensor(xs)).data
+            err = preds - ys
+            sq = (err**2).sum(axis=0)
+            ab = np.abs(err).sum(axis=0)
+            squared_sum = sq if squared_sum is None else squared_sum + sq
+            absolute_sum = ab if absolute_sum is None else absolute_sum + ab
+            count += len(batch_idx)
+    squared_mean = squared_sum / count  # (L_f, N)
+    absolute_mean = absolute_sum / count
+    return HorizonProfile(
+        mse_per_step=squared_mean.mean(axis=1),
+        mae_per_step=absolute_mean.mean(axis=1),
+        mse_per_entity=squared_mean.mean(axis=0),
+    )

@@ -1,0 +1,111 @@
+"""Motif recurrence statistics (the paper's Sec. III motivation).
+
+The motivation for offline clustering is that segment patterns "exhibit
+stable recurrence over time and space": the 7-8 AM rush hour looks the
+same across days (temporal recurrence) and across similar intersections
+(spatial recurrence).  These helpers quantify both on a fitted
+:class:`SegmentClusterer`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.clustering import SegmentClusterer
+from repro.data.segments import segment_series
+
+
+@dataclasses.dataclass
+class RecurrenceReport:
+    """Prototype usage and recurrence statistics for one dataset."""
+
+    usage: np.ndarray  # (k,) fraction of segments per prototype
+    temporal_recurrence: float  # same slot-of-day -> same prototype rate
+    spatial_recurrence: float  # same slot, different entity -> same prototype rate
+    entropy: float  # usage entropy in nats (log k = uniform)
+
+
+def prototype_usage(clusterer: SegmentClusterer, data: np.ndarray) -> np.ndarray:
+    """Fraction of segments assigned to each prototype."""
+    labels = clusterer.assign(data)
+    counts = np.bincount(labels, minlength=clusterer.config.num_prototypes)
+    return counts / max(len(labels), 1)
+
+
+def _slot_labels(
+    clusterer: SegmentClusterer, data: np.ndarray, steps_per_day: int
+) -> np.ndarray:
+    """Assignment labels arranged as ``(entities, days, slots_per_day)``.
+
+    Trailing partial days are dropped.
+    """
+    data = np.asarray(data)
+    if data.ndim != 2:
+        raise ValueError("expected (T, N) data")
+    p = clusterer.config.segment_length
+    if steps_per_day % p != 0:
+        raise ValueError("steps_per_day must be divisible by the segment length")
+    slots_per_day = steps_per_day // p
+    segments = segment_series(data, p)  # grouped by entity
+    labels = clusterer.assign(segments)
+    num_entities = data.shape[1]
+    per_entity = len(labels) // num_entities
+    days = per_entity // slots_per_day
+    if days < 1:
+        raise ValueError("data shorter than one day")
+    trimmed = labels.reshape(num_entities, per_entity)[:, : days * slots_per_day]
+    return trimmed.reshape(num_entities, days, slots_per_day)
+
+
+def temporal_recurrence(
+    clusterer: SegmentClusterer, data: np.ndarray, steps_per_day: int
+) -> float:
+    """How often a (entity, slot-of-day) reuses its dominant prototype.
+
+    1.0 means every day's 7-8 AM (etc.) maps to the same prototype; the
+    chance level is the usage-weighted collision probability.
+    """
+    grid = _slot_labels(clusterer, data, steps_per_day)  # (N, days, slots)
+    num_entities, days, slots = grid.shape
+    if days < 2:
+        raise ValueError("need at least two days for temporal recurrence")
+    rates = []
+    for entity in range(num_entities):
+        for slot in range(slots):
+            series = grid[entity, :, slot]
+            dominant = np.bincount(series).max()
+            rates.append(dominant / days)
+    return float(np.mean(rates))
+
+
+def spatial_recurrence(
+    clusterer: SegmentClusterer, data: np.ndarray, steps_per_day: int
+) -> float:
+    """How often two entities share a prototype at the same time slot."""
+    grid = _slot_labels(clusterer, data, steps_per_day)
+    num_entities, days, slots = grid.shape
+    if num_entities < 2:
+        raise ValueError("need at least two entities for spatial recurrence")
+    flat = grid.reshape(num_entities, days * slots)
+    agreements = []
+    for i in range(num_entities):
+        for j in range(i + 1, num_entities):
+            agreements.append(float((flat[i] == flat[j]).mean()))
+    return float(np.mean(agreements))
+
+
+def recurrence_report(
+    clusterer: SegmentClusterer, data: np.ndarray, steps_per_day: int
+) -> RecurrenceReport:
+    """All recurrence statistics in one pass."""
+    usage = prototype_usage(clusterer, data)
+    positive = usage[usage > 0]
+    entropy = float(-(positive * np.log(positive)).sum())
+    return RecurrenceReport(
+        usage=usage,
+        temporal_recurrence=temporal_recurrence(clusterer, data, steps_per_day),
+        spatial_recurrence=spatial_recurrence(clusterer, data, steps_per_day),
+        entropy=entropy,
+    )

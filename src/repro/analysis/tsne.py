@@ -1,0 +1,95 @@
+"""Exact t-SNE (van der Maaten & Hinton, 2008) for small point sets.
+
+Used to embed train/test segments side by side (paper Sec. VIII-D);
+exact O(n^2) gradients are fine at the few-hundred-segment scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pairwise_sq_dists(x: np.ndarray) -> np.ndarray:
+    sq = (x**2).sum(axis=1)
+    dists = sq[:, None] + sq[None, :] - 2.0 * x @ x.T
+    np.fill_diagonal(dists, 0.0)
+    return np.maximum(dists, 0.0)
+
+
+def _binary_search_sigma(dists_row: np.ndarray, perplexity: float, tol: float = 1e-4) -> np.ndarray:
+    """Find the conditional P row with the target perplexity."""
+    target_entropy = np.log(perplexity)
+    beta_low, beta_high = 1e-12, 1e12
+    beta = 1.0
+    probabilities = np.zeros_like(dists_row)
+    for _ in range(60):
+        exponent = -dists_row * beta
+        exponent -= exponent.max()
+        probabilities = np.exp(exponent)
+        probabilities[dists_row == 0.0] = 0.0  # excludes self
+        total = probabilities.sum()
+        if total <= 0:
+            probabilities = np.ones_like(dists_row) / max(len(dists_row) - 1, 1)
+            break
+        probabilities /= total
+        positive = probabilities[probabilities > 1e-12]
+        entropy = -(positive * np.log(positive)).sum()
+        if abs(entropy - target_entropy) < tol:
+            break
+        if entropy > target_entropy:
+            beta_low = beta
+            beta = beta * 2.0 if beta_high >= 1e12 else (beta + beta_high) / 2.0
+        else:
+            beta_high = beta
+            beta = beta / 2.0 if beta_low <= 1e-12 else (beta + beta_low) / 2.0
+    return probabilities
+
+
+def tsne(
+    points: np.ndarray,
+    n_components: int = 2,
+    perplexity: float = 20.0,
+    n_iter: int = 300,
+    learning_rate: float = 100.0,
+    seed: int = 0,
+    early_exaggeration: float = 4.0,
+) -> np.ndarray:
+    """Embed ``(n, d)`` points into ``(n, n_components)`` with exact t-SNE."""
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n < 3:
+        raise ValueError("need at least 3 points")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+
+    # High-dimensional affinities (symmetrized conditionals).
+    dists = _pairwise_sq_dists(points)
+    conditionals = np.zeros((n, n))
+    for i in range(n):
+        row = dists[i].copy()
+        row[i] = 0.0
+        conditionals[i] = _binary_search_sigma(row, perplexity)
+        conditionals[i, i] = 0.0
+    p_matrix = (conditionals + conditionals.T) / (2.0 * n)
+    p_matrix = np.maximum(p_matrix, 1e-12)
+
+    rng = np.random.default_rng(seed)
+    embedding = 1e-2 * rng.standard_normal((n, n_components))
+    velocity = np.zeros_like(embedding)
+    momentum = 0.5
+
+    for iteration in range(n_iter):
+        exaggeration = early_exaggeration if iteration < n_iter // 4 else 1.0
+        low_dists = _pairwise_sq_dists(embedding)
+        student = 1.0 / (1.0 + low_dists)
+        np.fill_diagonal(student, 0.0)
+        q_matrix = np.maximum(student / student.sum(), 1e-12)
+        coefficient = (exaggeration * p_matrix - q_matrix) * student
+        gradient = 4.0 * (
+            np.diag(coefficient.sum(axis=1)) - coefficient
+        ) @ embedding
+        velocity = momentum * velocity - learning_rate * gradient
+        embedding = embedding + velocity
+        embedding -= embedding.mean(axis=0)
+        if iteration == n_iter // 4:
+            momentum = 0.8
+    return embedding

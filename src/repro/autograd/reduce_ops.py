@@ -1,0 +1,157 @@
+"""Reductions and normalized reductions (softmax family)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor
+
+_builtin_sum = sum
+_builtin_max = max
+
+
+def _normalize_axis(axis, ndim: int):
+    if axis is None:
+        return None
+    if isinstance(axis, int):
+        return (axis % ndim,)
+    return tuple(a % ndim for a in axis)
+
+
+def _expand_reduced(grad: np.ndarray, shape: tuple[int, ...], axis) -> np.ndarray:
+    """Reshape a reduced (keepdims=False) gradient so it broadcasts back."""
+    if axis is None:
+        return np.broadcast_to(grad, shape)
+    expanded_shape = list(shape)
+    for a in axis:
+        expanded_shape[a] = 1
+    return np.broadcast_to(grad.reshape(expanded_shape), shape)
+
+
+def sum(x: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Sum over the given axes (numpy semantics)."""
+    x = as_tensor(x)
+    axes = _normalize_axis(axis, x.ndim)
+    out_data = x.data.sum(axis=axes, keepdims=keepdims)
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        if keepdims or axes is None and g.ndim == x.ndim:
+            return np.broadcast_to(g, x.shape)
+        return _expand_reduced(g, x.shape, axes)
+
+    return Tensor._make(out_data, [(x, grad_fn)], "sum")
+
+
+def mean(x: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Arithmetic mean over the given axes."""
+    x = as_tensor(x)
+    axes = _normalize_axis(axis, x.ndim)
+    if axes is None:
+        count = x.size
+    else:
+        count = int(np.prod([x.shape[a] for a in axes]))
+    out_data = x.data.mean(axis=axes, keepdims=keepdims)
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        if keepdims:
+            return np.broadcast_to(g, x.shape) / count
+        return _expand_reduced(g, x.shape, axes) / count
+
+    return Tensor._make(out_data, [(x, grad_fn)], "mean")
+
+
+def var(x: Tensor, axis=None, keepdims: bool = False, ddof: int = 0) -> Tensor:
+    """Variance, differentiable, composed from primitive ops."""
+    x = as_tensor(x)
+    axes = _normalize_axis(axis, x.ndim)
+    if axes is None:
+        count = x.size
+    else:
+        count = int(np.prod([x.shape[a] for a in axes]))
+    centered = x - mean(x, axis=axis, keepdims=True)
+    total = sum(centered * centered, axis=axis, keepdims=keepdims)
+    return total * (1.0 / _builtin_max(count - ddof, 1))
+
+
+def std(x: Tensor, axis=None, keepdims: bool = False, ddof: int = 0, eps: float = 0.0) -> Tensor:
+    """Standard deviation; ``eps`` is added under the square root."""
+    from repro.autograd.math_ops import sqrt
+
+    return sqrt(var(x, axis=axis, keepdims=keepdims, ddof=ddof) + eps)
+
+
+def _extreme(x: Tensor, axis, keepdims: bool, np_fn, name: str) -> Tensor:
+    x = as_tensor(x)
+    axes = _normalize_axis(axis, x.ndim)
+    out_data = np_fn(x.data, axis=axes, keepdims=keepdims)
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        out_keep = np_fn(x.data, axis=axes, keepdims=True)
+        mask = x.data == out_keep
+        # Split gradient evenly among ties so the sum over ties matches g.
+        counts = mask.sum(axis=axes, keepdims=True)
+        if keepdims:
+            g_keep = np.broadcast_to(g, out_keep.shape)
+        elif axes is None:
+            g_keep = np.asarray(g).reshape((1,) * x.ndim)
+        else:
+            reduced_shape = list(x.shape)
+            for a in axes:
+                reduced_shape[a] = 1
+            g_keep = np.asarray(g).reshape(reduced_shape)
+        return np.broadcast_to(g_keep, x.shape) * mask / counts
+
+    return Tensor._make(out_data, [(x, grad_fn)], name)
+
+
+def max(x: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Maximum over axes; ties split the gradient evenly."""
+    return _extreme(x, axis, keepdims, np.max, "max")
+
+
+def min(x: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Minimum over axes; ties split the gradient evenly."""
+    return _extreme(x, axis, keepdims, np.min, "min")
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exped = np.exp(shifted)
+    out_data = exped / exped.sum(axis=axis, keepdims=True)
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        dot = (g * out_data).sum(axis=axis, keepdims=True)
+        return out_data * (g - dot)
+
+    return Tensor._make(out_data, [(x, grad_fn)], "softmax")
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log of the softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - lse
+    soft = np.exp(out_data)
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        return g - soft * g.sum(axis=axis, keepdims=True)
+
+    return Tensor._make(out_data, [(x, grad_fn)], "log_softmax")
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Stable log-sum-exp reduction along ``axis``."""
+    x = as_tensor(x)
+    shifted_max = x.data.max(axis=axis, keepdims=True)
+    out_keep = shifted_max + np.log(np.exp(x.data - shifted_max).sum(axis=axis, keepdims=True))
+    out_data = out_keep if keepdims else np.squeeze(out_keep, axis=axis)
+    soft = np.exp(x.data - out_keep)
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        g_keep = g if keepdims else np.expand_dims(g, axis=axis)
+        return soft * g_keep
+
+    return Tensor._make(out_data, [(x, grad_fn)], "logsumexp")

@@ -1,0 +1,178 @@
+"""Shape-manipulation operations (all differentiable)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor
+
+
+def reshape(x: Tensor, shape: Sequence[int]) -> Tensor:
+    """Reshape without copying semantics (gradient reshapes back)."""
+    x = as_tensor(x)
+    shape = tuple(shape)
+    return Tensor._make(
+        x.data.reshape(shape), [(x, lambda g: g.reshape(x.shape))], "reshape"
+    )
+
+
+def flatten(x: Tensor) -> Tensor:
+    """Flatten to 1-D."""
+    return reshape(x, (-1,))
+
+
+def transpose(x: Tensor, axes: Sequence[int] | None = None) -> Tensor:
+    """Permute axes (all reversed when ``axes`` is None)."""
+    x = as_tensor(x)
+    if axes is None:
+        axes = tuple(reversed(range(x.ndim)))
+    axes = tuple(axes)
+    inverse = tuple(int(i) for i in np.argsort(axes))
+    return Tensor._make(
+        x.data.transpose(axes), [(x, lambda g: g.transpose(inverse))], "transpose"
+    )
+
+
+def swapaxes(x: Tensor, axis1: int, axis2: int) -> Tensor:
+    """Exchange two axes."""
+    x = as_tensor(x)
+    return Tensor._make(
+        np.swapaxes(x.data, axis1, axis2),
+        [(x, lambda g: np.swapaxes(g, axis1, axis2))],
+        "swapaxes",
+    )
+
+
+def squeeze(x: Tensor, axis: int | None = None) -> Tensor:
+    """Drop size-1 axes."""
+    x = as_tensor(x)
+    out_data = np.squeeze(x.data, axis=axis)
+    return Tensor._make(out_data, [(x, lambda g: g.reshape(x.shape))], "squeeze")
+
+
+def unsqueeze(x: Tensor, axis: int) -> Tensor:
+    """Insert a size-1 axis at ``axis``."""
+    x = as_tensor(x)
+    out_data = np.expand_dims(x.data, axis=axis)
+    return Tensor._make(out_data, [(x, lambda g: g.reshape(x.shape))], "unsqueeze")
+
+
+def expand_dims(x: Tensor, axis: int) -> Tensor:
+    """Alias of :func:`unsqueeze` mirroring numpy naming."""
+    return unsqueeze(x, axis)
+
+
+def broadcast_to(x: Tensor, shape: Sequence[int]) -> Tensor:
+    """Materialize a broadcast view; the gradient sums back."""
+    x = as_tensor(x)
+    shape = tuple(shape)
+    from repro.autograd.tensor import unbroadcast
+
+    return Tensor._make(
+        np.broadcast_to(x.data, shape).copy(),
+        [(x, lambda g: unbroadcast(g, x.shape))],
+        "broadcast_to",
+    )
+
+
+def repeat(x: Tensor, repeats: int, axis: int) -> Tensor:
+    """Tile ``x`` ``repeats`` times along ``axis`` (numpy.repeat semantics)."""
+    x = as_tensor(x)
+    out_data = np.repeat(x.data, repeats, axis=axis)
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        axis_norm = axis % x.ndim
+        reshaped = list(x.shape)
+        reshaped.insert(axis_norm + 1, repeats)
+        return g.reshape(reshaped).sum(axis=axis_norm + 1)
+
+    return Tensor._make(out_data, [(x, grad_fn)], "repeat")
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate along an existing axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    axis_norm = axis % out_data.ndim
+    offsets = np.cumsum([0] + [t.shape[axis_norm] for t in tensors])
+
+    def make_grad_fn(index: int):
+        start, stop = offsets[index], offsets[index + 1]
+        slicer = [slice(None)] * out_data.ndim
+        slicer[axis_norm] = slice(start, stop)
+        slicer = tuple(slicer)
+        return lambda g: g[slicer]
+
+    parents = [(t, make_grad_fn(i)) for i, t in enumerate(tensors)]
+    return Tensor._make(out_data, parents, "concat")
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack along a new axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+    axis_norm = axis % out_data.ndim
+
+    def make_grad_fn(index: int):
+        return lambda g: np.take(g, index, axis=axis_norm)
+
+    parents = [(t, make_grad_fn(i)) for i, t in enumerate(tensors)]
+    return Tensor._make(out_data, parents, "stack")
+
+
+def split(x: Tensor, sections: int, axis: int = 0) -> list[Tensor]:
+    """Split into equal sections along ``axis`` (numpy.split semantics)."""
+    x = as_tensor(x)
+    axis_norm = axis % x.ndim
+    pieces = np.split(x.data, sections, axis=axis_norm)
+    width = x.shape[axis_norm] // sections
+    outputs = []
+    for i, piece in enumerate(pieces):
+        start = i * width
+
+        def grad_fn(g: np.ndarray, start=start) -> np.ndarray:
+            full = np.zeros_like(x.data)
+            slicer = [slice(None)] * x.ndim
+            slicer[axis_norm] = slice(start, start + width)
+            full[tuple(slicer)] = g
+            return full
+
+        outputs.append(Tensor._make(piece, [(x, grad_fn)], "split"))
+    return outputs
+
+
+def pad(x: Tensor, pad_width, mode: str = "constant") -> Tensor:
+    """Zero-pad (only constant mode is differentiable here)."""
+    if mode != "constant":
+        raise ValueError("only constant (zero) padding supports gradients")
+    x = as_tensor(x)
+    pad_width = np.asarray(pad_width)
+    if pad_width.ndim == 1:
+        pad_width = np.broadcast_to(pad_width, (x.ndim, 2))
+    out_data = np.pad(x.data, pad_width, mode="constant")
+    slicer = tuple(
+        slice(int(before), int(before) + dim)
+        for (before, _), dim in zip(pad_width, x.shape)
+    )
+    return Tensor._make(out_data, [(x, lambda g: g[slicer])], "pad")
+
+
+def gather(x: Tensor, indices, axis: int = 0) -> Tensor:
+    """Take rows/elements by integer indices along ``axis``."""
+    x = as_tensor(x)
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = np.take(x.data, indices, axis=axis)
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        full = np.zeros_like(x.data)
+        axis_norm = axis % x.ndim
+        moved = np.moveaxis(full, axis_norm, 0)
+        g_moved = np.moveaxis(
+            g, tuple(range(axis_norm, axis_norm + indices.ndim)), tuple(range(indices.ndim))
+        )
+        np.add.at(moved, indices, g_moved)
+        return full
+
+    return Tensor._make(out_data, [(x, grad_fn)], "gather")

@@ -1,0 +1,513 @@
+"""Core :class:`Tensor` type and the backward machinery.
+
+A ``Tensor`` wraps a ``numpy.ndarray`` and, when gradients are enabled,
+records how it was produced: every differentiable operation attaches a list
+of ``(parent, grad_fn)`` pairs to its output, where ``grad_fn`` maps the
+gradient flowing into the output to the gradient contribution for that
+parent.  :meth:`Tensor.backward` walks the graph in reverse topological
+order and accumulates contributions into ``Tensor.grad``.
+
+Broadcasting follows numpy semantics; gradients of broadcast operands are
+reduced back to the operand's shape via :func:`unbroadcast`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Sequence
+
+import numpy as np
+
+DEFAULT_DTYPE = np.float64
+
+_GRAD_STATE = threading.local()
+
+# Optional op-level observer used by repro.profiling: when set, every op
+# construction reports (op_name, output_shape, parent_shapes).
+_OP_OBSERVER = None
+
+
+def set_op_observer(observer) -> None:
+    """Install (or clear, with None) the global op observer."""
+    global _OP_OBSERVER
+    _OP_OBSERVER = observer
+
+
+def get_op_observer():
+    """Return the currently installed op observer (or None)."""
+    return _OP_OBSERVER
+
+
+def is_grad_enabled() -> bool:
+    """Return True when operations should record the autograd graph."""
+    return getattr(_GRAD_STATE, "enabled", True)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (like torch.no_grad)."""
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
+    try:
+        yield
+    finally:
+        _GRAD_STATE.enabled = previous
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` (shape produced by broadcasting) back to ``shape``.
+
+    Sums over the leading axes numpy added and over any axis that was
+    expanded from size 1.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away leading dimensions added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``numpy.ndarray`` of float dtype.
+    requires_grad:
+        When True, ``backward()`` will populate :attr:`grad` for this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_op_name")
+    __array_priority__ = 100  # make numpy defer to Tensor.__r*__ operators
+
+    def __init__(self, data, requires_grad: bool = False, dtype=None):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=dtype or DEFAULT_DTYPE)
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self.grad: np.ndarray | None = None
+        # list of (parent Tensor, grad_fn: ndarray -> ndarray) pairs
+        self._parents: list[tuple["Tensor", Callable[[np.ndarray], np.ndarray]]] = []
+        self._op_name: str = "leaf"
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence[tuple["Tensor", Callable[[np.ndarray], np.ndarray]]],
+        op_name: str,
+    ) -> "Tensor":
+        """Create an op output, wiring in parents when autograd is on."""
+        if _OP_OBSERVER is not None:
+            _OP_OBSERVER(op_name, np.shape(data), [p.shape for p, _ in parents])
+        tracked = [(p, fn) for p, fn in parents if p.requires_grad]
+        out = Tensor(data, requires_grad=bool(tracked) and is_grad_enabled())
+        if out.requires_grad:
+            out._parents = tracked
+            out._op_name = op_name
+        return out
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        from repro.autograd.shape_ops import transpose
+
+        return transpose(self)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_note})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a view of the data cut off from the autograd graph."""
+        return Tensor(self.data)
+
+    def copy(self) -> "Tensor":
+        """Return a detached deep copy."""
+        return Tensor(self.data.copy())
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: np.ndarray | float | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to 1 for scalar outputs; non-scalar roots require
+        an explicit gradient of matching shape.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be specified for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        topo = _topological_order(self)
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in topo:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if not node._parents:
+                # Leaf: accumulate into .grad
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+                continue
+            # Interior node: leaves may also want their own .grad
+            if node is self or node.grad is not None:
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+            for parent, grad_fn in node._parents:
+                contribution = grad_fn(node_grad)
+                contribution = unbroadcast(
+                    np.asarray(contribution, dtype=parent.data.dtype), parent.data.shape
+                )
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + contribution
+                else:
+                    grads[key] = contribution
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Arithmetic operators
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        return Tensor._make(
+            self.data + other.data,
+            [(self, lambda g: g), (other, lambda g: g)],
+            "add",
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        return Tensor._make(
+            self.data - other.data,
+            [(self, lambda g: g), (other, lambda g: -g)],
+            "sub",
+        )
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other).__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        return Tensor._make(
+            self.data * other.data,
+            [(self, lambda g: g * other.data), (other, lambda g: g * self.data)],
+            "mul",
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        return Tensor._make(
+            self.data / other.data,
+            [
+                (self, lambda g: g / other.data),
+                (other, lambda g: -g * self.data / (other.data**2)),
+            ],
+            "div",
+        )
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._make(-self.data, [(self, lambda g: -g)], "neg")
+
+    def __pow__(self, exponent) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            base, expo = self, exponent
+            out_data = base.data**expo.data
+            return Tensor._make(
+                out_data,
+                [
+                    (base, lambda g: g * expo.data * base.data ** (expo.data - 1)),
+                    (expo, lambda g: g * out_data * np.log(base.data)),
+                ],
+                "pow",
+            )
+        exponent = float(exponent)
+        return Tensor._make(
+            self.data**exponent,
+            [(self, lambda g: g * exponent * self.data ** (exponent - 1))],
+            "pow_const",
+        )
+
+    def __matmul__(self, other) -> "Tensor":
+        from repro.autograd.linalg_ops import matmul
+
+        return matmul(self, other)
+
+    def __rmatmul__(self, other) -> "Tensor":
+        from repro.autograd.linalg_ops import matmul
+
+        return matmul(as_tensor(other), self)
+
+    # ------------------------------------------------------------------
+    # Comparison operators (non-differentiable, return plain ndarrays)
+    # ------------------------------------------------------------------
+    def __lt__(self, other):
+        return self.data < _raw(other)
+
+    def __le__(self, other):
+        return self.data <= _raw(other)
+
+    def __gt__(self, other):
+        return self.data > _raw(other)
+
+    def __ge__(self, other):
+        return self.data >= _raw(other)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self.data == _raw(other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self.data != _raw(other)
+
+    def __hash__(self):
+        return id(self)
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, g)
+            return full
+
+        return Tensor._make(out_data, [(self, grad_fn)], "getitem")
+
+    # ------------------------------------------------------------------
+    # Method-style access to functional ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        from repro.autograd.shape_ops import reshape
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return reshape(self, shape)
+
+    def transpose(self, axes: Sequence[int] | None = None) -> "Tensor":
+        from repro.autograd.shape_ops import transpose
+
+        return transpose(self, axes)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        from repro.autograd.shape_ops import swapaxes
+
+        return swapaxes(self, axis1, axis2)
+
+    def flatten(self) -> "Tensor":
+        from repro.autograd.shape_ops import flatten
+
+        return flatten(self)
+
+    def squeeze(self, axis: int | None = None) -> "Tensor":
+        from repro.autograd.shape_ops import squeeze
+
+        return squeeze(self, axis)
+
+    def unsqueeze(self, axis: int) -> "Tensor":
+        from repro.autograd.shape_ops import unsqueeze
+
+        return unsqueeze(self, axis)
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.autograd.reduce_ops import sum as _sum
+
+        return _sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.autograd.reduce_ops import mean
+
+        return mean(self, axis=axis, keepdims=keepdims)
+
+    def var(self, axis=None, keepdims: bool = False, ddof: int = 0) -> "Tensor":
+        from repro.autograd.reduce_ops import var
+
+        return var(self, axis=axis, keepdims=keepdims, ddof=ddof)
+
+    def std(self, axis=None, keepdims: bool = False, ddof: int = 0) -> "Tensor":
+        from repro.autograd.reduce_ops import std
+
+        return std(self, axis=axis, keepdims=keepdims, ddof=ddof)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.autograd.reduce_ops import max as _max
+
+        return _max(self, axis=axis, keepdims=keepdims)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.autograd.reduce_ops import min as _min
+
+        return _min(self, axis=axis, keepdims=keepdims)
+
+    def exp(self) -> "Tensor":
+        from repro.autograd.math_ops import exp
+
+        return exp(self)
+
+    def log(self) -> "Tensor":
+        from repro.autograd.math_ops import log
+
+        return log(self)
+
+    def sqrt(self) -> "Tensor":
+        from repro.autograd.math_ops import sqrt
+
+        return sqrt(self)
+
+    def abs(self) -> "Tensor":
+        from repro.autograd.math_ops import abs as _abs
+
+        return _abs(self)
+
+    def tanh(self) -> "Tensor":
+        from repro.autograd.math_ops import tanh
+
+        return tanh(self)
+
+    def sigmoid(self) -> "Tensor":
+        from repro.autograd.math_ops import sigmoid
+
+        return sigmoid(self)
+
+    def relu(self) -> "Tensor":
+        from repro.autograd.math_ops import relu
+
+        return relu(self)
+
+    def clip(self, low: float | None = None, high: float | None = None) -> "Tensor":
+        from repro.autograd.math_ops import clip
+
+        return clip(self, low, high)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        from repro.autograd.reduce_ops import softmax
+
+        return softmax(self, axis=axis)
+
+    def matmul(self, other) -> "Tensor":
+        return self.__matmul__(other)
+
+
+def _raw(value) -> np.ndarray:
+    return value.data if isinstance(value, Tensor) else np.asarray(value)
+
+
+def _topological_order(root: Tensor) -> list[Tensor]:
+    """Return tensors reachable from ``root`` in reverse topological order."""
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent, _ in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    order.reverse()
+    return order
+
+
+# ----------------------------------------------------------------------
+# Creation helpers
+# ----------------------------------------------------------------------
+def tensor(data, requires_grad: bool = False, dtype=None) -> Tensor:
+    """Create a new Tensor (copies data)."""
+    return Tensor(np.array(data, dtype=dtype or DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def as_tensor(data) -> Tensor:
+    """Coerce to Tensor without copying when already one."""
+    return data if isinstance(data, Tensor) else Tensor(data)
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    """All-zeros tensor of the given shape."""
+    return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def zeros_like(t: Tensor, requires_grad: bool = False) -> Tensor:
+    """All-zeros tensor shaped like ``t``."""
+    return Tensor(np.zeros_like(_raw(t)), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    """All-ones tensor of the given shape."""
+    return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def ones_like(t: Tensor, requires_grad: bool = False) -> Tensor:
+    """All-ones tensor shaped like ``t``."""
+    return Tensor(np.ones_like(_raw(t)), requires_grad=requires_grad)
+
+
+def randn(*shape, rng: np.random.Generator | None = None, requires_grad: bool = False) -> Tensor:
+    """Standard-normal tensor (pass ``rng`` for determinism)."""
+    generator = rng or np.random.default_rng()
+    return Tensor(generator.standard_normal(shape), requires_grad=requires_grad)
+
+
+def arange(*args, requires_grad: bool = False) -> Tensor:
+    """Float range tensor (numpy.arange semantics)."""
+    return Tensor(np.arange(*args, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)

@@ -1,0 +1,33 @@
+"""Baseline forecasters from the paper's Table III, re-implemented on the
+:mod:`repro.nn` substrate.
+
+Each module keeps the architectural idea that defines its baseline while
+staying small enough to train on the numpy stack; deliberate
+simplifications vs. the original releases are documented in each class
+docstring.  All models share the interface
+
+    model(window: Tensor[B, L, N]) -> Tensor[B, L_f, N]
+
+and are constructible through :func:`build_baseline`.
+"""
+
+from repro.baselines.dlinear import DLinear
+from repro.baselines.patchtst import PatchTST
+from repro.baselines.crossformer import Crossformer
+from repro.baselines.mtgnn import MTGNN
+from repro.baselines.graph_wavenet import GraphWaveNet
+from repro.baselines.timesnet import TimesNet
+from repro.baselines.lightcts import LightCTS
+from repro.baselines.registry import BASELINE_NAMES, build_baseline
+
+__all__ = [
+    "DLinear",
+    "PatchTST",
+    "Crossformer",
+    "MTGNN",
+    "GraphWaveNet",
+    "TimesNet",
+    "LightCTS",
+    "BASELINE_NAMES",
+    "build_baseline",
+]

@@ -1,0 +1,112 @@
+"""Crossformer (Zhang & Yan, ICLR 2023): cross-dimension Transformer.
+
+Kept from the original: segment-wise embedding (DSW), and the Two-Stage
+Attention layer — stage 1 attends across time segments within each
+channel, stage 2 attends across channels at each time slot through a
+small set of *router* tokens (the low-rank trick the paper discusses,
+giving O(2cN) cross-dimension cost).
+
+Simplified: a single TSA layer instead of the hierarchical (segment-
+merging) encoder-decoder, and a linear forecasting head — the
+cross-dimension inductive bias is what Table III exercises.
+"""
+
+from __future__ import annotations
+
+from repro import autograd as ag
+from repro.autograd import Tensor
+from repro.nn import LayerNorm, Linear, Module, MultiHeadAttention, Parameter, RevIN
+from repro.nn import init as nn_init
+
+
+class TwoStageAttention(Module):
+    """Crossformer's TSA block over ``(B, N, l, d)`` segment tokens."""
+
+    def __init__(self, d_model: int, n_heads: int, n_routers: int = 4):
+        super().__init__()
+        self.d_model = d_model
+        self.time_attn = MultiHeadAttention(d_model, n_heads)
+        self.router = Parameter(nn_init.normal((n_routers, d_model), std=0.02))
+        self.sender = MultiHeadAttention(d_model, n_heads)
+        self.receiver = MultiHeadAttention(d_model, n_heads)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+
+    def forward(self, tokens: Tensor) -> Tensor:
+        batch, num_entities, n_segments, d = tokens.shape
+        # Stage 1: temporal attention within each channel.
+        time_in = tokens.reshape(batch * num_entities, n_segments, d)
+        time_out = self.norm1(time_in + self.time_attn(time_in))
+        stage1 = time_out.reshape(batch, num_entities, n_segments, d)
+
+        # Stage 2: cross-channel attention through router tokens, one
+        # sequence of N entity tokens per time slot.
+        entity_in = ag.swapaxes(stage1, 1, 2).reshape(
+            batch * n_segments, num_entities, d
+        )
+        routers = ag.broadcast_to(
+            self.router.unsqueeze(0), (batch * n_segments,) + self.router.shape
+        )
+        gathered = self.sender(routers, entity_in)  # routers absorb entity info
+        distributed = self.receiver(entity_in, gathered)  # entities read back
+        entity_out = self.norm2(entity_in + distributed)
+        stage2 = entity_out.reshape(batch, n_segments, num_entities, d)
+        return ag.swapaxes(stage2, 1, 2)
+
+
+class Crossformer(Module):
+    """Segment embedding + Two-Stage Attention + linear head."""
+
+    def __init__(
+        self,
+        lookback: int,
+        horizon: int,
+        num_entities: int,
+        segment_length: int = 12,
+        d_model: int = 64,
+        n_heads: int = 4,
+        n_routers: int = 4,
+        n_layers: int = 1,
+        use_revin: bool = True,
+    ):
+        super().__init__()
+        if lookback % segment_length != 0:
+            raise ValueError("lookback must be divisible by segment_length")
+        self.lookback = lookback
+        self.horizon = horizon
+        self.num_entities = num_entities
+        self.segment_length = segment_length
+        self.n_segments = lookback // segment_length
+        self.d_model = d_model
+        self.revin = RevIN(num_entities) if use_revin else None
+        self.embed = Linear(segment_length, d_model)
+        self.pos_embedding = Parameter(
+            nn_init.normal((self.n_segments, d_model), std=0.02)
+        )
+        from repro.nn import ModuleList
+
+        self.layers = ModuleList(
+            [TwoStageAttention(d_model, n_heads, n_routers) for _ in range(n_layers)]
+        )
+        self.head = Linear(self.n_segments * d_model, horizon)
+
+    def forward(self, window: Tensor) -> Tensor:
+        if window.ndim != 3 or window.shape[1] != self.lookback:
+            raise ValueError(f"expected (B, {self.lookback}, N), got {window.shape}")
+        batch = window.shape[0]
+        if self.revin is not None:
+            window = self.revin.normalize(window)
+        segments = ag.swapaxes(window, 1, 2).reshape(
+            batch, self.num_entities, self.n_segments, self.segment_length
+        )
+        tokens = self.embed(segments) + self.pos_embedding
+        for layer in self.layers:
+            tokens = layer(tokens)
+        flat = tokens.reshape(batch, self.num_entities, self.n_segments * self.d_model)
+        out = ag.swapaxes(self.head(flat), 1, 2)
+        if self.revin is not None:
+            out = self.revin.denormalize(out)
+        return out
+
+    def _extra_repr(self) -> str:
+        return f"(L={self.lookback}, L_f={self.horizon}, l={self.n_segments}, d={self.d_model})"

@@ -1,0 +1,126 @@
+"""PatchTST (Nie et al., ICLR 2023): channel-independent patch Transformer.
+
+Kept from the original: RevIN, patching with stride, per-patch linear
+embedding + learned positional encoding, a pre-norm Transformer encoder
+over patches (this is the O(l^2) all-pairs segment dependency modeling
+FOCUS targets), flatten head per channel.
+
+Simplified: fewer encoder layers/heads by default and no dropout
+scheduling — dimension choices mirror the scaled-down FOCUS settings so
+the comparison stays fair.
+"""
+
+from __future__ import annotations
+
+from repro import autograd as ag
+from repro.autograd import Tensor
+from repro.nn import (
+    GELU,
+    Dropout,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    MultiHeadAttention,
+    Parameter,
+    RevIN,
+)
+from repro.nn import init as nn_init
+
+
+class _EncoderLayer(Module):
+    """Pre-norm Transformer block: MHA + position-wise FFN."""
+
+    def __init__(self, d_model: int, n_heads: int, d_ff: int, dropout: float):
+        super().__init__()
+        self.norm1 = LayerNorm(d_model)
+        self.attn = MultiHeadAttention(d_model, n_heads, dropout=dropout)
+        self.norm2 = LayerNorm(d_model)
+        self.ff1 = Linear(d_model, d_ff)
+        self.ff2 = Linear(d_ff, d_model)
+        self.act = GELU()
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.norm1(x))
+        x = x + self.dropout(self.ff2(self.act(self.ff1(self.norm2(x)))))
+        return x
+
+
+class PatchTST(Module):
+    """Channel-independent patch Transformer forecaster."""
+
+    def __init__(
+        self,
+        lookback: int,
+        horizon: int,
+        num_entities: int,
+        patch_length: int = 12,
+        stride: int | None = None,
+        d_model: int = 64,
+        n_heads: int = 4,
+        n_layers: int = 2,
+        d_ff: int | None = None,
+        dropout: float = 0.0,
+        use_revin: bool = True,
+    ):
+        super().__init__()
+        self.lookback = lookback
+        self.horizon = horizon
+        self.num_entities = num_entities
+        self.patch_length = patch_length
+        self.stride = stride or patch_length
+        if (lookback - patch_length) % self.stride != 0:
+            raise ValueError("lookback must align with patch_length/stride")
+        self.n_patches = (lookback - patch_length) // self.stride + 1
+        self.d_model = d_model
+        self.revin = RevIN(num_entities) if use_revin else None
+        self.embed = Linear(patch_length, d_model)
+        self.pos_embedding = Parameter(nn_init.normal((self.n_patches, d_model), std=0.02))
+        self.layers = ModuleList(
+            [
+                _EncoderLayer(d_model, n_heads, d_ff or 2 * d_model, dropout)
+                for _ in range(n_layers)
+            ]
+        )
+        self.head = Linear(self.n_patches * d_model, horizon)
+
+    def _patch(self, window: Tensor) -> Tensor:
+        """(B, L, N) -> (B*N, n_patches, patch_length)."""
+        batch = window.shape[0]
+        per_entity = ag.swapaxes(window, 1, 2)  # (B, N, L)
+        if self.stride == self.patch_length:
+            patches = per_entity.reshape(
+                batch * self.num_entities, self.n_patches, self.patch_length
+            )
+        else:
+            slices = [
+                per_entity[:, :, i * self.stride : i * self.stride + self.patch_length]
+                for i in range(self.n_patches)
+            ]
+            patches = ag.stack(slices, axis=2).reshape(
+                batch * self.num_entities, self.n_patches, self.patch_length
+            )
+        return patches
+
+    def forward(self, window: Tensor) -> Tensor:
+        if window.ndim != 3 or window.shape[1] != self.lookback:
+            raise ValueError(f"expected (B, {self.lookback}, N), got {window.shape}")
+        batch = window.shape[0]
+        if self.revin is not None:
+            window = self.revin.normalize(window)
+        tokens = self.embed(self._patch(window)) + self.pos_embedding
+        for layer in self.layers:
+            tokens = layer(tokens)
+        flat = tokens.reshape(batch, self.num_entities, self.n_patches * self.d_model)
+        out = self.head(flat)  # (B, N, L_f)
+        out = ag.swapaxes(out, 1, 2)
+        if self.revin is not None:
+            out = self.revin.denormalize(out)
+        return out
+
+    def _extra_repr(self) -> str:
+        return (
+            f"(L={self.lookback}, L_f={self.horizon}, patches={self.n_patches}"
+            f"x{self.patch_length}, d={self.d_model})"
+        )

@@ -1,0 +1,44 @@
+"""Uniform construction of all comparison models (and FOCUS itself)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.crossformer import Crossformer
+from repro.baselines.dlinear import DLinear
+from repro.baselines.graph_wavenet import GraphWaveNet
+from repro.baselines.lightcts import LightCTS
+from repro.baselines.mtgnn import MTGNN
+from repro.baselines.patchtst import PatchTST
+from repro.baselines.timesnet import TimesNet
+from repro.nn import Module
+
+BASELINE_NAMES = [
+    "PatchTST",
+    "Crossformer",
+    "MTGNN",
+    "GraphWavenet",
+    "TimesNet",
+    "LightCTS",
+    "DLinear",
+]
+
+_BUILDERS: dict[str, Callable[..., Module]] = {
+    "patchtst": PatchTST,
+    "crossformer": Crossformer,
+    "mtgnn": MTGNN,
+    "graphwavenet": GraphWaveNet,
+    "timesnet": TimesNet,
+    "lightcts": LightCTS,
+    "dlinear": DLinear,
+}
+
+
+def build_baseline(
+    name: str, lookback: int, horizon: int, num_entities: int, **kwargs
+) -> Module:
+    """Construct a baseline by (case/punctuation-insensitive) name."""
+    key = name.lower().replace("-", "").replace("_", "").replace(" ", "")
+    if key not in _BUILDERS:
+        raise KeyError(f"unknown baseline {name!r}; available: {BASELINE_NAMES}")
+    return _BUILDERS[key](lookback, horizon, num_entities, **kwargs)

@@ -1,0 +1,211 @@
+"""Command-line interface for the FOCUS reproduction.
+
+Subcommands::
+
+    python -m repro datasets                      # list dataset presets
+    python -m repro cluster  --dataset PEMS08 -k 8 -p 12 [--save protos.npz]
+    python -m repro run      --model FOCUS --dataset PEMS08 --epochs 6
+    python -m repro profile  --model FOCUS --dataset PEMS08 --lookback 384
+    python -m repro compare  --dataset PEMS08 --models FOCUS,DLinear,PatchTST
+
+All commands operate on the synthetic dataset surrogates (seeded, see
+DESIGN.md) and print plain-text tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_common_model_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="PEMS08", help="dataset preset name")
+    parser.add_argument("--scale", default="smoke", choices=["smoke", "paper"])
+    parser.add_argument("--lookback", type=int, default=96)
+    parser.add_argument("--horizon", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_datasets(_args) -> int:
+    from repro.data import DATASETS
+    from repro.training.reporting import format_table
+
+    rows = [
+        {
+            "name": spec.name,
+            "domain": spec.domain,
+            "steps_per_day": spec.steps_per_day,
+            "paper_T": spec.length,
+            "paper_N": spec.num_entities,
+            "smoke_T": spec.smoke_length,
+            "smoke_N": spec.smoke_entities,
+            "split": ":".join(map(str, spec.split)),
+        }
+        for spec in DATASETS.values()
+    ]
+    print(format_table(rows, title="Dataset presets (Table II of the paper)"))
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from repro.core import ClusteringConfig, SegmentClusterer
+    from repro.data import load_dataset, segment_series
+
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    clusterer = SegmentClusterer(
+        ClusteringConfig(
+            num_prototypes=args.num_prototypes,
+            segment_length=args.segment_length,
+            alpha=args.alpha,
+            seed=args.seed,
+        )
+    ).fit(data.train)
+    segments = segment_series(data.train, args.segment_length)
+    labels = clusterer.assign(segments)
+    shares = np.bincount(labels, minlength=args.num_prototypes) / len(labels)
+    print(f"fitted {args.num_prototypes} prototypes on {len(segments)} segments "
+          f"({clusterer.n_iter_} iterations)")
+    for j, share in enumerate(shares):
+        print(f"  prototype {j}: usage {share:6.1%}")
+    print(f"inertia: {clusterer.inertia(segments):.4f}")
+    if args.save:
+        clusterer.save(args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.data import load_dataset
+    from repro.training import ExperimentConfig, TrainerConfig, run_experiment
+    from repro.training.reporting import format_table
+
+    config = ExperimentConfig(
+        model=args.model,
+        dataset=args.dataset,
+        lookback=args.lookback,
+        horizon=args.horizon,
+        scale=args.scale,
+        seed=args.seed,
+        trainer=TrainerConfig(
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            lr=args.lr,
+            patience=99,
+            restore_best=False,
+            verbose=True,
+        ),
+    )
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    result = run_experiment(config, data)
+    print()
+    print(format_table([result.row()], title="Result"))
+    print(f"training took {result.train_seconds:.1f}s")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.data import load_dataset
+    from repro.profiling import profile_model
+    from repro.training import ExperimentConfig, build_model
+
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    config = ExperimentConfig(
+        model=args.model,
+        dataset=args.dataset,
+        lookback=args.lookback,
+        horizon=args.horizon,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    model = build_model(config, data)
+    report = profile_model(model, (1, args.lookback, data.num_entities))
+    print(f"{args.model} @ L={args.lookback}, N={data.num_entities}: {report}")
+    top = sorted(report.per_op_flops.items(), key=lambda kv: -kv[1])[:8]
+    for op_name, flops in top:
+        print(f"  {op_name:20s} {flops / 1e6:10.2f} MFLOPs")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.data import load_dataset
+    from repro.training import ExperimentConfig, TrainerConfig, run_experiment
+    from repro.training.reporting import format_table, rank_by
+
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    trainer = TrainerConfig(
+        epochs=args.epochs, batch_size=args.batch_size, lr=args.lr,
+        patience=99, restore_best=False,
+    )
+    rows = []
+    for model_name in args.models.split(","):
+        model_name = model_name.strip()
+        print(f"training {model_name} ...", file=sys.stderr)
+        result = run_experiment(
+            ExperimentConfig(
+                model=model_name,
+                dataset=args.dataset,
+                lookback=args.lookback,
+                horizon=args.horizon,
+                scale=args.scale,
+                seed=args.seed,
+                trainer=trainer,
+                train_stride=2,
+            ),
+            data,
+        )
+        rows.append(result.row())
+    print(format_table(rank_by(rows, "mse"), title=f"{args.dataset} comparison"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list dataset presets").set_defaults(
+        func=_cmd_datasets
+    )
+
+    cluster = sub.add_parser("cluster", help="run the offline clustering phase")
+    _add_common_model_args(cluster)
+    cluster.add_argument("-k", "--num-prototypes", type=int, default=8)
+    cluster.add_argument("-p", "--segment-length", type=int, default=12)
+    cluster.add_argument("--alpha", type=float, default=0.2)
+    cluster.add_argument("--save", help="npz path to save the fitted prototypes")
+    cluster.set_defaults(func=_cmd_cluster)
+
+    run = sub.add_parser("run", help="train and evaluate one model")
+    _add_common_model_args(run)
+    run.add_argument("--model", default="FOCUS")
+    run.add_argument("--epochs", type=int, default=6)
+    run.add_argument("--batch-size", type=int, default=32)
+    run.add_argument("--lr", type=float, default=5e-3)
+    run.set_defaults(func=_cmd_run)
+
+    profile = sub.add_parser("profile", help="analytic FLOPs/memory/params")
+    _add_common_model_args(profile)
+    profile.add_argument("--model", default="FOCUS")
+    profile.set_defaults(func=_cmd_profile)
+
+    compare = sub.add_parser("compare", help="train several models, rank by MSE")
+    _add_common_model_args(compare)
+    compare.add_argument("--models", default="FOCUS,PatchTST,DLinear")
+    compare.add_argument("--epochs", type=int, default=6)
+    compare.add_argument("--batch-size", type=int, default=32)
+    compare.add_argument("--lr", type=float, default=5e-3)
+    compare.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""FOCUS core: offline clustering, ProtoAttn, dual-branch forecasting.
+
+This package implements the paper's primary contribution:
+
+- :mod:`repro.core.clustering` — the offline phase (Sec. V, Algorithm 1):
+  segment clustering under a composite Euclidean + Pearson-correlation
+  objective, with AdamW prototype refinement.
+- :mod:`repro.core.protoattn` — the online phase (Sec. VI, Algorithm 2):
+  prototype-attentive dependency modeling with O(k*l) complexity.
+- :mod:`repro.core.extractor` — the dual-branch temporal/entity feature
+  extractor (Sec. VII-A, Algorithm 3).
+- :mod:`repro.core.fusion` — the Parallel Fusion Module with readout
+  queries and gating (Sec. VII-B, Algorithm 4).
+- :mod:`repro.core.model` — the assembled :class:`FOCUSForecaster` plus
+  the paper's ablation variants (FOCUS-Attn / -LnrFusion / -AllLnr).
+- :mod:`repro.core.theory` — empirical verification of Theorem 1's
+  low-rank approximation bound.
+"""
+
+from repro.core.clustering import (
+    ClusteringConfig,
+    SegmentClusterer,
+    composite_distance,
+    pearson_rows,
+)
+from repro.core.protoattn import ProtoAttn
+from repro.core.extractor import DualBranchExtractor
+from repro.core.fusion import ParallelFusion
+from repro.core.model import FOCUSConfig, FOCUSForecaster, make_focus_variant
+from repro.core.selection import (
+    select_num_prototypes,
+    silhouette_score,
+    sweep_clustering,
+)
+
+__all__ = [
+    "ClusteringConfig",
+    "SegmentClusterer",
+    "composite_distance",
+    "pearson_rows",
+    "ProtoAttn",
+    "DualBranchExtractor",
+    "ParallelFusion",
+    "FOCUSConfig",
+    "FOCUSForecaster",
+    "make_focus_variant",
+    "select_num_prototypes",
+    "silhouette_score",
+    "sweep_clustering",
+]

@@ -1,0 +1,109 @@
+"""Parallel Fusion Module (paper Sec. VII-B, Algorithm 4).
+
+Algorithm 4 line 1: "*Project input features into m fixed readout
+queries Q*" — the m queries are **generated from the input features**
+(a learned projection along the token axis), not free parameters.  Each
+query then cross-attends to the temporal and entity feature sequences
+(lines 2-4), a sigmoid gate mixes the two readouts elementwise (lines
+6-7), and a final projection maps the fused readout to the forecast
+horizon.  Because ``m`` is fixed, the correlation matrices are ``(m, l)``
+— linear in the input length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import autograd as ag
+from repro.autograd import Tensor
+from repro.nn import Linear, Module, Sigmoid
+
+
+class ParallelFusion(Module):
+    """Readout-query fusion head.
+
+    Input: ``H_t`` and ``H_e``, both ``(B, N, l, d)``.
+    Output: per-entity forecasts ``(B, N, horizon)``.
+
+    ``n_segments`` (= l) is needed to build the token-axis projection
+    that generates the m readout queries from the input features.
+    """
+
+    def __init__(self, d_model: int, num_queries: int, horizon: int, n_segments: int):
+        super().__init__()
+        self.d_model = d_model
+        self.num_queries = num_queries
+        self.horizon = horizon
+        self.n_segments = n_segments
+        # Algorithm 4 line 1: queries generated from the input features by
+        # projecting the token axis l -> m (one projection per branch,
+        # summed, then refined in feature space).
+        self.query_tokens_t = Linear(n_segments, num_queries, bias=False)
+        self.query_tokens_e = Linear(n_segments, num_queries, bias=False)
+        self.query_refine = Linear(d_model, d_model)
+        self.gate_proj = Linear(2 * d_model, d_model)
+        self.sigmoid = Sigmoid()
+        self.head = Linear(num_queries * d_model, horizon)
+
+    def _make_queries(self, h_t: Tensor, h_e: Tensor) -> Tensor:
+        """Project input features into m readout queries ``(B, N, m, d)``."""
+        # (B, N, l, d) -> (B, N, d, l) -> token projection -> (B, N, d, m)
+        mixed_t = self.query_tokens_t(ag.swapaxes(h_t, -1, -2))
+        mixed_e = self.query_tokens_e(ag.swapaxes(h_e, -1, -2))
+        queries = ag.swapaxes(mixed_t + mixed_e, -1, -2)  # (B, N, m, d)
+        return self.query_refine(queries)
+
+    def _readout(self, queries: Tensor, features: Tensor) -> Tensor:
+        """Algorithm 4 lines 2-4: ``softmax(Q H^T / sqrt(d)) H``."""
+        scores = ag.matmul(queries, ag.swapaxes(features, -1, -2))
+        scores = scores * (1.0 / np.sqrt(self.d_model))
+        weights = ag.softmax(scores, axis=-1)  # (B, N, m, l)
+        return ag.matmul(weights, features)  # (B, N, m, d)
+
+    def forward(self, h_t: Tensor, h_e: Tensor) -> Tensor:
+        if h_t.shape != h_e.shape:
+            raise ValueError("temporal and entity features must share a shape")
+        queries = self._make_queries(h_t, h_e)
+        readout_t = queries + self._readout(queries, h_t)
+        readout_e = queries + self._readout(queries, h_e)
+        fused_input = ag.concat([readout_t, readout_e], axis=-1)  # (B,N,m,2d)
+        gate = self.sigmoid(self.gate_proj(fused_input))  # (B,N,m,d)
+        fused = gate * readout_t + (1.0 - gate) * readout_e
+        batch, num_entities = fused.shape[0], fused.shape[1]
+        flat = fused.reshape(batch, num_entities, self.num_queries * self.d_model)
+        return self.head(flat)  # (B, N, horizon)
+
+    def _extra_repr(self) -> str:
+        return f"(m={self.num_queries}, d={self.d_model}, horizon={self.horizon})"
+
+
+class GatedLinearFusion(Module):
+    """``FOCUS-LnrFusion`` ablation: gated linear layers instead of readout.
+
+    Flattens each branch's ``(l, d)`` feature block per entity, projects
+    both to the horizon, and mixes with a sigmoid gate.
+    """
+
+    def __init__(self, d_model: int, n_segments: int, horizon: int):
+        super().__init__()
+        self.d_model = d_model
+        self.n_segments = n_segments
+        self.horizon = horizon
+        width = n_segments * d_model
+        self.proj_t = Linear(width, horizon)
+        self.proj_e = Linear(width, horizon)
+        self.gate_proj = Linear(2 * width, horizon)
+        self.sigmoid = Sigmoid()
+
+    def forward(self, h_t: Tensor, h_e: Tensor) -> Tensor:
+        batch, num_entities = h_t.shape[0], h_t.shape[1]
+        width = self.n_segments * self.d_model
+        flat_t = h_t.reshape(batch, num_entities, width)
+        flat_e = h_e.reshape(batch, num_entities, width)
+        out_t = self.proj_t(flat_t)
+        out_e = self.proj_e(flat_e)
+        gate = self.sigmoid(self.gate_proj(ag.concat([flat_t, flat_e], axis=-1)))
+        return gate * out_t + (1.0 - gate) * out_e
+
+    def _extra_repr(self) -> str:
+        return f"(l={self.n_segments}, d={self.d_model}, horizon={self.horizon})"

@@ -1,0 +1,249 @@
+"""The assembled FOCUS forecaster and its ablation variants.
+
+``FOCUSForecaster`` chains the pieces of Secs. V-VII:
+
+1. (offline, before construction) a :class:`SegmentClusterer` produces
+   the ``(k, p)`` prototype set from the *training split*;
+2. RevIN window normalization (standard practice for long-horizon
+   forecasters under distribution shift);
+3. segmentation of the lookback window into ``(B, N, l, p)`` tokens;
+4. the dual-branch ProtoAttn extractor (Algorithm 3);
+5. the Parallel Fusion readout head (Algorithm 4) emitting ``(B, L_f, N)``.
+
+:func:`make_focus_variant` builds the Table IV ablations:
+``"attn"`` (FOCUS-Attn), ``"lnr_fusion"`` (FOCUS-LnrFusion) and
+``"all_lnr"`` (FOCUS-AllLnr).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import autograd as ag
+from repro.autograd import Tensor
+from repro.core.clustering import ClusteringConfig, SegmentClusterer
+from repro.core.extractor import DualBranchExtractor
+from repro.core.fusion import GatedLinearFusion, ParallelFusion
+from repro.nn import Module, RevIN
+
+
+@dataclasses.dataclass
+class FOCUSConfig:
+    """Model hyperparameters (paper Sec. VIII-A defaults where stated).
+
+    ``num_readout`` is m (6 for horizon 96, 21 for horizon 336 in the
+    paper); ``alpha=0.2`` is the correlation-loss weight; ``d_model`` was
+    128 for PEMS and 64 elsewhere.
+    """
+
+    lookback: int
+    horizon: int
+    num_entities: int
+    segment_length: int = 12
+    num_prototypes: int = 8
+    d_model: int = 64
+    num_readout: int = 6
+    alpha: float = 0.2
+    use_revin: bool = True
+    # Branch ablation: "dual" (paper), "temporal" or "entity" feed the
+    # fusion head with only one branch's features.
+    branch: str = "dual"
+    # Assignment ablation: "hard" one-hot routing (paper) or "soft"
+    # distance-softmax routing with the given temperature.
+    assignment: str = "hard"
+    assignment_temperature: float = 1.0
+    # Extractor depth (extension): the paper uses 1; deeper stacks add
+    # DeepProtoBlock layers that reuse the layer-1 assignment (proto
+    # mixer only).
+    n_layers: int = 1
+
+    def __post_init__(self):
+        if self.branch not in ("dual", "temporal", "entity"):
+            raise ValueError(f"unknown branch mode {self.branch!r}")
+        if self.lookback % self.segment_length != 0:
+            raise ValueError(
+                f"lookback {self.lookback} must be divisible by "
+                f"segment_length {self.segment_length}"
+            )
+
+    @property
+    def n_segments(self) -> int:
+        return self.lookback // self.segment_length
+
+
+class FOCUSForecaster(Module):
+    """FOCUS: forecasting with offline clustering using segments.
+
+    Parameters
+    ----------
+    config:
+        Model hyperparameters.
+    prototypes:
+        ``(k, p)`` prototypes from the offline phase.  If ``None``, call
+        :meth:`fit_prototypes` (or classmethod :meth:`from_training_data`)
+        before the first forward pass.
+    mixer / fusion:
+        Internal switches used by :func:`make_focus_variant`.
+    """
+
+    def __init__(
+        self,
+        config: FOCUSConfig,
+        prototypes: np.ndarray | None = None,
+        mixer: str = "proto",
+        fusion: str = "readout",
+    ):
+        super().__init__()
+        self.config = config
+        self.mixer_kind = mixer
+        self.fusion_kind = fusion
+        if prototypes is None:
+            # Placeholder prototypes; fit_prototypes() replaces them.
+            prototypes = np.zeros((config.num_prototypes, config.segment_length))
+            self._has_prototypes = mixer != "proto"
+        else:
+            prototypes = np.asarray(prototypes, dtype=np.float64)
+            expected = (config.num_prototypes, config.segment_length)
+            if prototypes.shape != expected:
+                raise ValueError(
+                    f"prototypes shape {prototypes.shape} != expected {expected}"
+                )
+            self._has_prototypes = True
+        if config.use_revin:
+            self.revin = RevIN(config.num_entities, affine=True)
+        else:
+            self.revin = None
+        self.extractor = DualBranchExtractor(
+            prototypes,
+            segment_length=config.segment_length,
+            d_model=config.d_model,
+            alpha=config.alpha,
+            mixer=mixer,
+            n_segments=config.n_segments,
+            num_entities=config.num_entities,
+            assignment=config.assignment,
+            temperature=config.assignment_temperature,
+            n_layers=config.n_layers if mixer == "proto" else 1,
+        )
+        if fusion == "readout":
+            self.fusion = ParallelFusion(
+                config.d_model, config.num_readout, config.horizon, config.n_segments
+            )
+        elif fusion == "linear":
+            self.fusion = GatedLinearFusion(config.d_model, config.n_segments, config.horizon)
+        else:
+            raise ValueError(f"unknown fusion {fusion!r}")
+
+    # ------------------------------------------------------------------
+    # Offline phase
+    # ------------------------------------------------------------------
+    def fit_prototypes(
+        self, train_data: np.ndarray, clustering: ClusteringConfig | None = None
+    ) -> SegmentClusterer:
+        """Run the offline clustering phase on ``(T, N)`` training data."""
+        cfg = self.config
+        clustering = clustering or ClusteringConfig(
+            num_prototypes=cfg.num_prototypes,
+            segment_length=cfg.segment_length,
+            alpha=cfg.alpha,
+        )
+        if (
+            clustering.num_prototypes != cfg.num_prototypes
+            or clustering.segment_length != cfg.segment_length
+        ):
+            raise ValueError("clustering config disagrees with model config")
+        clusterer = SegmentClusterer(clustering).fit(train_data)
+        self.set_prototypes(clusterer.prototypes_)
+        return clusterer
+
+    def set_prototypes(self, prototypes: np.ndarray) -> None:
+        prototypes = np.asarray(prototypes, dtype=np.float64)
+        for mixer in (self.extractor.temporal_mixer, self.extractor.entity_mixer):
+            if hasattr(mixer, "prototypes"):
+                mixer.prototypes[...] = prototypes
+        self._has_prototypes = True
+
+    @classmethod
+    def from_training_data(
+        cls,
+        config: FOCUSConfig,
+        train_data: np.ndarray,
+        clustering: ClusteringConfig | None = None,
+    ) -> "FOCUSForecaster":
+        """Offline phase + model construction in one call."""
+        model = cls(config)
+        model.fit_prototypes(train_data, clustering)
+        return model
+
+    # ------------------------------------------------------------------
+    # Online phase
+    # ------------------------------------------------------------------
+    def forward(self, window: Tensor) -> Tensor:
+        """Forecast ``(B, L_f, N)`` from a lookback window ``(B, L, N)``."""
+        if not self._has_prototypes:
+            raise RuntimeError(
+                "prototypes not fitted; call fit_prototypes() or pass them in"
+            )
+        cfg = self.config
+        if window.ndim != 3 or window.shape[1] != cfg.lookback or window.shape[2] != cfg.num_entities:
+            raise ValueError(
+                f"expected (B, {cfg.lookback}, {cfg.num_entities}) window, got {window.shape}"
+            )
+        if self.revin is not None:
+            window = self.revin.normalize(window)
+        batch = window.shape[0]
+        # (B, L, N) -> (B, N, l, p)
+        segments = ag.swapaxes(window, 1, 2).reshape(
+            batch, cfg.num_entities, cfg.n_segments, cfg.segment_length
+        )
+        h_t, h_e = self.extractor(segments)
+        if cfg.branch == "temporal":
+            h_e = h_t
+        elif cfg.branch == "entity":
+            h_t = h_e
+        forecast = self.fusion(h_t, h_e)  # (B, N, L_f)
+        forecast = ag.swapaxes(forecast, 1, 2)  # (B, L_f, N)
+        if self.revin is not None:
+            forecast = self.revin.denormalize(forecast)
+        return forecast
+
+    def dependency_matrix(self) -> np.ndarray:
+        """Temporal-branch dependency map from the last forward (Fig. 13)."""
+        mixer = self.extractor.temporal_mixer
+        if not hasattr(mixer, "dependency_matrix"):
+            raise RuntimeError("dependency matrices require the ProtoAttn mixer")
+        return mixer.dependency_matrix()
+
+    def _extra_repr(self) -> str:
+        cfg = self.config
+        return (
+            f"(L={cfg.lookback}, L_f={cfg.horizon}, N={cfg.num_entities}, "
+            f"p={cfg.segment_length}, k={cfg.num_prototypes}, d={cfg.d_model}, "
+            f"mixer={self.mixer_kind}, fusion={self.fusion_kind})"
+        )
+
+
+def make_focus_variant(
+    variant: str,
+    config: FOCUSConfig,
+    prototypes: np.ndarray | None = None,
+) -> FOCUSForecaster:
+    """Build FOCUS or one of the Table IV ablation variants.
+
+    - ``"focus"``       — full model (ProtoAttn + readout fusion);
+    - ``"attn"``        — FOCUS-Attn: extractors use full self-attention;
+    - ``"lnr_fusion"``  — FOCUS-LnrFusion: gated-linear fusion head;
+    - ``"all_lnr"``     — FOCUS-AllLnr: linear extractors AND linear fusion.
+    """
+    variants = {
+        "focus": ("proto", "readout"),
+        "attn": ("attn", "readout"),
+        "lnr_fusion": ("proto", "linear"),
+        "all_lnr": ("linear", "linear"),
+    }
+    if variant not in variants:
+        raise ValueError(f"unknown variant {variant!r}; choose from {sorted(variants)}")
+    mixer, fusion = variants[variant]
+    return FOCUSForecaster(config, prototypes=prototypes, mixer=mixer, fusion=fusion)

@@ -1,0 +1,147 @@
+"""ProtoAttn: prototype-attentive dependency modeling (Sec. VI, Alg. 2).
+
+Instead of all-pairs self-attention over the ``l`` input segments
+(O(l^2)), ProtoAttn attends from the fixed ``k`` offline prototypes to
+the segments and routes the result back through the hard assignment
+matrix ``A``:
+
+    ProtoAttn(C_Q, K, V) = A . softmax(C_Q K^T / sqrt(d)) . V   (Eq. 18)
+
+with ``C_Q = C W_E``, ``K = P W_K``, ``V = P W_V`` (Eq. 14).  Since
+queries sharing a prototype reuse the same attention row (Eq. 19), the
+cost is O(k*l*d) — linear in the number of segments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import autograd as ag
+from repro.autograd import Tensor
+from repro.core.clustering import composite_distance
+from repro.nn import Linear, Module
+
+
+class ProtoAttn(Module):
+    """Prototype-attentive layer over segment tokens.
+
+    Parameters
+    ----------
+    prototypes:
+        ``(k, p)`` array from the offline :class:`SegmentClusterer`.
+    d_model:
+        Embedding width ``d`` for queries/keys/values.
+    alpha:
+        Composite-distance correlation weight used for the *online*
+        hard assignment (should match the offline clustering setting).
+    assignment:
+        ``"hard"`` (paper): one-hot routing to the nearest prototype;
+        ``"soft"``: a softmax over negative composite distances scaled by
+        ``temperature`` — an extension ablated in the benchmarks.
+    temperature:
+        Softness of the ``"soft"`` assignment (lower = closer to hard).
+
+    Input ``(B, l, p)`` raw segments; output ``(B, l, d_model)``.  After a
+    forward pass :attr:`last_assignment_` holds the ``(B, l)`` prototype
+    indices and :attr:`last_attention_` the ``(B, k, l)`` attention map
+    (both plain ndarrays), which the paper's Fig. 13 analysis multiplies
+    together to visualize learned long-range dependencies.
+    """
+
+    def __init__(
+        self,
+        prototypes: np.ndarray,
+        d_model: int,
+        alpha: float = 0.2,
+        assignment: str = "hard",
+        temperature: float = 1.0,
+    ):
+        super().__init__()
+        if assignment not in ("hard", "soft"):
+            raise ValueError(f"unknown assignment mode {assignment!r}")
+        if temperature <= 0.0:
+            raise ValueError("temperature must be positive")
+        self.assignment_mode = assignment
+        self.temperature = temperature
+        prototypes = np.asarray(prototypes, dtype=np.float64)
+        if prototypes.ndim != 2:
+            raise ValueError("prototypes must be (k, p)")
+        self.num_prototypes, self.segment_length = prototypes.shape
+        self.d_model = d_model
+        self.alpha = alpha
+        self.register_buffer("prototypes", prototypes.copy())
+        p = self.segment_length
+        self.w_e = Linear(p, d_model, bias=False)  # prototype embedding W_E
+        self.w_k = Linear(p, d_model, bias=False)
+        self.w_v = Linear(p, d_model, bias=False)
+        self.last_assignment_: np.ndarray | None = None
+        self.last_attention_: np.ndarray | None = None
+
+    def assign(self, segments: np.ndarray) -> np.ndarray:
+        """Hard-assign ``(..., p)`` segments to nearest prototypes."""
+        flat = segments.reshape(-1, self.segment_length)
+        labels = composite_distance(flat, self.prototypes, self.alpha).argmin(axis=1)
+        return labels.reshape(segments.shape[:-1])
+
+    def assignment_weights(self, segments: np.ndarray) -> np.ndarray:
+        """Assignment matrix ``A``: one-hot (hard) or softmax (soft)."""
+        flat = segments.reshape(-1, self.segment_length)
+        distances = composite_distance(flat, self.prototypes, self.alpha)
+        if self.assignment_mode == "hard":
+            weights = np.zeros_like(distances)
+            weights[np.arange(len(flat)), distances.argmin(axis=1)] = 1.0
+        else:
+            logits = -distances / self.temperature
+            logits -= logits.max(axis=1, keepdims=True)
+            weights = np.exp(logits)
+            weights /= weights.sum(axis=1, keepdims=True)
+        return weights.reshape(*segments.shape[:-1], self.num_prototypes)
+
+    def forward(self, segments: Tensor) -> Tensor:
+        if segments.ndim != 3 or segments.shape[-1] != self.segment_length:
+            raise ValueError(
+                f"expected (B, l, p={self.segment_length}) segments, got {segments.shape}"
+            )
+        batch, n_segments, _ = segments.shape
+
+        # Assignment matrix A (non-differentiable; Algorithm 2 l.1-4).
+        # Hard mode (the paper) routes one-hot; soft mode is an extension.
+        assignment = self.assignment_weights(segments.data)  # (B, l, k)
+        self.last_assignment_ = assignment.argmax(axis=-1)
+        from repro.profiling.counter import active_counter
+
+        counter = active_counter()
+        if counter is not None:
+            # Nearest-prototype search: O(l * k * p) multiply-adds plus the
+            # correlation term (Sec. VI-B complexity analysis).
+            cost = 3 * batch * n_segments * self.num_prototypes * self.segment_length
+            counter.add_flops(cost, label="proto_assignment")
+
+        # Eq. (14): projections.
+        proto_queries = self.w_e(Tensor(self.prototypes))  # (k, d)
+        keys = self.w_k(segments)  # (B, l, d)
+        values = self.w_v(segments)  # (B, l, d)
+
+        # Eq. (16)+(18): prototype-to-segment attention, then route via A.
+        scores = ag.matmul(proto_queries, ag.swapaxes(keys, -1, -2))  # (B, k, l)
+        scores = scores * (1.0 / np.sqrt(self.d_model))
+        attention = ag.softmax(scores, axis=-1)
+        self.last_attention_ = attention.data
+        proto_context = ag.matmul(attention, values)  # (B, k, d)
+        return ag.matmul(Tensor(assignment), proto_context)  # (B, l, d)
+
+    def dependency_matrix(self) -> np.ndarray:
+        """``A @ attention`` from the last forward: ``(B, l, l)``.
+
+        Entry ``[b, i, j]`` is how much segment ``i``'s representation
+        depends on segment ``j`` — the quantity visualized in Fig. 13.
+        """
+        if self.last_assignment_ is None or self.last_attention_ is None:
+            raise RuntimeError("run a forward pass first")
+        # Row i of the result is the attention row of segment i's prototype.
+        return np.take_along_axis(
+            self.last_attention_, self.last_assignment_[:, :, None], axis=1
+        )
+
+    def _extra_repr(self) -> str:
+        return f"(k={self.num_prototypes}, p={self.segment_length}, d={self.d_model})"

@@ -1,0 +1,149 @@
+"""Streaming (deployment-style) wrapper around a trained FOCUS model.
+
+The paper's online phase assumes a fixed prototype set discovered
+offline, arguing prototypes are "relatively universal" (Sec. I).  In a
+real deployment the model consumes observations incrementally, and the
+prototype set may eventually go stale as the system drifts (the
+Sec. VIII-D phenomenon).  :class:`StreamingFOCUS` provides both pieces:
+
+- a ring buffer that turns a stream of ``(N,)`` observations into
+  forecasts as soon as a full lookback window is available;
+- optional *novelty-triggered prototype adaptation* (an extension beyond
+  the paper): when an incoming segment's nearest-prototype distance
+  exceeds a drift threshold, the nearest prototype is nudged toward the
+  segment with an exponential moving average, keeping the offline
+  dictionary fresh without re-clustering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import autograd as ag
+from repro.autograd import Tensor
+from repro.core.clustering import composite_distance
+from repro.core.model import FOCUSForecaster
+
+
+@dataclasses.dataclass
+class StreamingStats:
+    """Counters exposed for monitoring a deployment."""
+
+    observations: int = 0
+    forecasts: int = 0
+    novel_segments: int = 0
+    prototype_updates: int = 0
+
+
+class StreamingFOCUS:
+    """Incremental forecasting facade over a trained FOCUS model.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`FOCUSForecaster`.
+    adapt_prototypes:
+        Enable novelty-triggered EMA adaptation of the prototype set.
+    novelty_threshold:
+        A segment is *novel* when its nearest-prototype composite distance
+        exceeds ``novelty_threshold`` times the running median distance.
+    ema:
+        Step size of the prototype nudge (0 disables movement).
+    """
+
+    def __init__(
+        self,
+        model: FOCUSForecaster,
+        adapt_prototypes: bool = False,
+        novelty_threshold: float = 4.0,
+        ema: float = 0.05,
+    ):
+        if novelty_threshold <= 1.0:
+            raise ValueError("novelty_threshold must exceed 1")
+        if not 0.0 <= ema < 1.0:
+            raise ValueError("ema must lie in [0, 1)")
+        self.model = model
+        self.model.eval()
+        self.adapt_prototypes = adapt_prototypes
+        self.novelty_threshold = novelty_threshold
+        self.ema = ema
+        config = model.config
+        self._buffer = np.zeros((config.lookback, config.num_entities))
+        self._filled = 0
+        self._distance_history: list[float] = []
+        self.stats = StreamingStats()
+
+    @property
+    def ready(self) -> bool:
+        """True once a full lookback window has been observed."""
+        return self._filled >= self.model.config.lookback
+
+    def observe(self, observation: np.ndarray) -> None:
+        """Push one time step of ``(N,)`` values into the buffer."""
+        observation = np.asarray(observation, dtype=np.float64)
+        if observation.shape != (self.model.config.num_entities,):
+            raise ValueError(
+                f"expected ({self.model.config.num_entities},) observation, "
+                f"got {observation.shape}"
+            )
+        self._buffer = np.roll(self._buffer, -1, axis=0)
+        self._buffer[-1] = observation
+        self._filled = min(self._filled + 1, self.model.config.lookback)
+        self.stats.observations += 1
+        p = self.model.config.segment_length
+        if self.adapt_prototypes and self._filled >= p and self.stats.observations % p == 0:
+            self._maybe_adapt(self._buffer[-p:])
+
+    def observe_many(self, observations: np.ndarray) -> None:
+        """Push a ``(T, N)`` block of observations."""
+        for row in np.asarray(observations, dtype=np.float64):
+            self.observe(row)
+
+    def forecast(self) -> np.ndarray:
+        """Forecast the next ``horizon`` steps from the current buffer."""
+        if not self.ready:
+            raise RuntimeError(
+                f"need {self.model.config.lookback} observations, have {self._filled}"
+            )
+        with ag.no_grad():
+            prediction = self.model(Tensor(self._buffer[None]))
+        self.stats.forecasts += 1
+        return prediction.data[0]
+
+    # ------------------------------------------------------------------
+    # Prototype adaptation
+    # ------------------------------------------------------------------
+    def _prototypes(self) -> np.ndarray:
+        return self.model.extractor.temporal_mixer.prototypes
+
+    def _maybe_adapt(self, latest_block: np.ndarray) -> None:
+        """EMA-update prototypes for novel segments in the latest block."""
+        prototypes = self._prototypes()
+        alpha = self.model.config.alpha
+        segments = latest_block.T  # (N, p): one fresh segment per entity
+        distances = composite_distance(segments, prototypes, alpha)
+        nearest = distances.argmin(axis=1)
+        nearest_dist = distances[np.arange(len(segments)), nearest]
+        self._distance_history.extend(nearest_dist.tolist())
+        if len(self._distance_history) > 1024:
+            self._distance_history = self._distance_history[-1024:]
+        median = float(np.median(self._distance_history))
+        if median <= 0.0:
+            return
+        for segment, proto_idx, dist in zip(segments, nearest, nearest_dist):
+            if dist > self.novelty_threshold * median:
+                self.stats.novel_segments += 1
+                if self.ema > 0.0:
+                    updated = (1.0 - self.ema) * prototypes[proto_idx] + self.ema * segment
+                    self.model.set_prototypes(
+                        np.vstack(
+                            [
+                                updated if j == proto_idx else prototypes[j]
+                                for j in range(len(prototypes))
+                            ]
+                        )
+                    )
+                    prototypes = self._prototypes()
+                    self.stats.prototype_updates += 1

@@ -1,0 +1,34 @@
+"""Data substrate: synthetic benchmark datasets, scaling, windowing.
+
+The paper evaluates on seven public datasets (Table II).  This environment
+has no network access, so :mod:`repro.data.synthetic` generates seeded
+surrogates that reproduce each dataset's documented structure — sampling
+frequency, daily/weekly seasonality, entity count, cross-entity
+correlation, and non-stationary drift — at both paper scale and a reduced
+"smoke" scale used by the test- and benchmark-suite defaults.
+"""
+
+from repro.data.presets import DATASETS, DatasetSpec, get_spec
+from repro.data.synthetic import generate
+from repro.data.scaler import StandardScaler
+from repro.data.splits import split_series
+from repro.data.windows import DataLoader, SlidingWindowDataset
+from repro.data.outliers import inject_outliers
+from repro.data.segments import merge_segments, segment_series
+from repro.data.loading import ForecastingData, load_dataset
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "get_spec",
+    "generate",
+    "StandardScaler",
+    "split_series",
+    "SlidingWindowDataset",
+    "DataLoader",
+    "inject_outliers",
+    "segment_series",
+    "merge_segments",
+    "ForecastingData",
+    "load_dataset",
+]

@@ -1,0 +1,45 @@
+"""Outlier injection for the robustness study (paper Sec. VIII-E).
+
+The paper simulates collection-device faults by replacing a fraction of
+training points with values "sampled from a distribution over three times
+the real data's standard deviation" (Fig. 10a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def inject_outliers(
+    data: np.ndarray,
+    ratio: float,
+    seed: int = 0,
+    sigma_multiplier: float = 3.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Replace ``ratio`` of points with +-(>3 sigma) spikes.
+
+    Returns ``(corrupted_copy, boolean_mask_of_corrupted_points)``.
+    """
+    if not 0.0 <= ratio <= 1.0:
+        raise ValueError("ratio must be within [0, 1]")
+    data = np.asarray(data, dtype=np.float64)
+    corrupted = data.copy()
+    mask = np.zeros(data.shape, dtype=bool)
+    if ratio == 0.0:
+        return corrupted, mask
+
+    rng = np.random.default_rng(seed)
+    total = data.size
+    n_outliers = int(round(total * ratio))
+    flat_positions = rng.choice(total, size=n_outliers, replace=False)
+    mask.reshape(-1)[flat_positions] = True
+
+    mean = data.mean(axis=0, keepdims=True)
+    std = data.std(axis=0, keepdims=True)
+    std = np.where(std < 1e-12, 1.0, std)
+    # Magnitudes start at sigma_multiplier * std and extend beyond it.
+    magnitudes = std * (sigma_multiplier + np.abs(rng.standard_normal(data.shape)))
+    signs = rng.choice([-1.0, 1.0], size=data.shape)
+    spikes = mean + signs * magnitudes
+    corrupted[mask] = spikes[mask]
+    return corrupted, mask

@@ -1,0 +1,77 @@
+"""Dataset specifications mirroring Table II of the paper.
+
+Each spec records the real dataset's statistics (sampling frequency,
+length, entity count, split ratio, domain archetype) plus a reduced
+``smoke`` size so that the numpy training stack can run the full
+experiment grid in CI time.  ``scale='paper'`` reproduces the Table II
+dimensions exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one benchmark dataset.
+
+    Attributes
+    ----------
+    name:
+        Canonical dataset name (e.g. ``"PEMS08"``).
+    domain:
+        Generator archetype: ``traffic``, ``electricity``, ``ett`` or
+        ``weather``; selects the synthetic signal family.
+    steps_per_day:
+        Sampling frequency expressed as samples per day (Table II's
+        "Frequency" column: 5 min -> 288, 15 min -> 96, 1 h -> 24,
+        10 min -> 144).
+    length:
+        Total time steps at paper scale (Table II "Lengths").
+    num_entities:
+        Channel count at paper scale (Table II "Dim").
+    split:
+        Train/val/test ratio as a 3-tuple (Table II "Split").
+    smoke_length / smoke_entities:
+        Reduced dimensions used when ``scale='smoke'``.
+    """
+
+    name: str
+    domain: str
+    steps_per_day: int
+    length: int
+    num_entities: int
+    split: tuple[int, int, int]
+    smoke_length: int
+    smoke_entities: int
+
+    def dims(self, scale: str = "smoke") -> tuple[int, int]:
+        """Return ``(length, num_entities)`` for the requested scale."""
+        if scale == "paper":
+            return self.length, self.num_entities
+        if scale == "smoke":
+            return self.smoke_length, self.smoke_entities
+        raise ValueError(f"unknown scale {scale!r} (use 'smoke' or 'paper')")
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec("PEMS04", "traffic", 288, 16992, 307, (6, 2, 2), 2304, 12),
+        DatasetSpec("PEMS08", "traffic", 288, 17856, 170, (6, 2, 2), 2304, 10),
+        DatasetSpec("ETTh1", "ett", 24, 14400, 7, (6, 2, 2), 1920, 7),
+        DatasetSpec("ETTm1", "ett", 96, 57600, 7, (6, 2, 2), 2688, 7),
+        DatasetSpec("Traffic", "traffic", 24, 17544, 862, (7, 1, 2), 1920, 16),
+        DatasetSpec("Electricity", "electricity", 24, 26304, 321, (7, 1, 2), 1920, 12),
+        DatasetSpec("Weather", "weather", 144, 52696, 21, (7, 1, 2), 2304, 8),
+    ]
+}
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec by (case-insensitive) name."""
+    for key, spec in DATASETS.items():
+        if key.lower() == name.lower():
+            return spec
+    raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}")

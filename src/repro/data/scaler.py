@@ -1,0 +1,43 @@
+"""Train-statistics normalization (as in the paper's protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Per-channel standardization fitted on the training split only.
+
+    The paper normalizes every dataset "using statistical information
+    derived from the training set" (Sec. VIII-A); this class implements
+    exactly that contract.
+    """
+
+    def __init__(self):
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "StandardScaler":
+        """Fit channel means/stds from ``(T, N)`` training data."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("expected (T, N) data")
+        self.mean_ = data.mean(axis=0)
+        self.std_ = data.std(axis=0)
+        self.std_ = np.where(self.std_ < 1e-12, 1.0, self.std_)
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("scaler is not fitted; call fit() first")
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return (np.asarray(data, dtype=np.float64) - self.mean_) / self.std_
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(data, dtype=np.float64) * self.std_ + self.mean_

@@ -1,0 +1,73 @@
+"""Segment (patch) utilities shared by offline clustering and the model.
+
+The paper cuts every entity's series into length-``p`` segments (Sec. V):
+entity ``e`` contributes ``T // p`` segments.  These helpers perform that
+segmentation and its inverse for both 1-D series and ``(T, N)`` matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def segment_series(data: np.ndarray, segment_length: int, drop_remainder: bool = True) -> np.ndarray:
+    """Cut ``data`` into consecutive length-``p`` segments.
+
+    - 1-D ``(T,)`` input -> ``(T // p, p)`` segments.
+    - 2-D ``(T, N)`` input -> ``(N * (T // p), p)`` segments, grouped by
+      entity (entity 0's segments first), matching Algorithm 1's
+      "combine all segments" step.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if segment_length <= 0:
+        raise ValueError("segment_length must be positive")
+    length = data.shape[0]
+    n_segments = length // segment_length
+    if n_segments == 0:
+        raise ValueError(
+            f"series of length {length} shorter than segment length {segment_length}"
+        )
+    if not drop_remainder and length % segment_length != 0:
+        raise ValueError("length not divisible by segment_length")
+    usable = n_segments * segment_length
+    if data.ndim == 1:
+        return data[:usable].reshape(n_segments, segment_length)
+    if data.ndim == 2:
+        # (T, N) -> (N, n_segments, p) -> (N * n_segments, p)
+        trimmed = data[:usable]  # (usable, N)
+        by_entity = trimmed.T.reshape(data.shape[1], n_segments, segment_length)
+        return by_entity.reshape(-1, segment_length)
+    raise ValueError("expected 1-D or 2-D input")
+
+
+def merge_segments(segments: np.ndarray, num_entities: int = 1) -> np.ndarray:
+    """Inverse of :func:`segment_series` (up to the dropped remainder)."""
+    segments = np.asarray(segments)
+    if segments.ndim != 2:
+        raise ValueError("expected (n_segments, p) input")
+    total, segment_length = segments.shape
+    if total % num_entities != 0:
+        raise ValueError("segment count not divisible by num_entities")
+    per_entity = total // num_entities
+    if num_entities == 1:
+        return segments.reshape(-1)
+    by_entity = segments.reshape(num_entities, per_entity, segment_length)
+    return by_entity.reshape(num_entities, -1).T  # (T, N)
+
+
+def segment_window(window: np.ndarray, segment_length: int) -> np.ndarray:
+    """Segment a lookback window ``(L, N)`` into ``(N, L // p, p)``.
+
+    This is the online-phase layout: per entity, a sequence of temporal
+    segments (the ``l = L / p`` tokens of Sec. VI-A).
+    """
+    window = np.asarray(window, dtype=np.float64)
+    if window.ndim != 2:
+        raise ValueError("expected (L, N) window")
+    length, num_entities = window.shape
+    if length % segment_length != 0:
+        raise ValueError(
+            f"window length {length} not divisible by segment length {segment_length}"
+        )
+    n_segments = length // segment_length
+    return window.T.reshape(num_entities, n_segments, segment_length)

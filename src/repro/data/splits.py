@@ -1,0 +1,24 @@
+"""Chronological train/val/test splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def split_series(
+    data: np.ndarray, ratios: tuple[int, int, int]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split ``(T, N)`` data chronologically by integer ratios.
+
+    ``ratios`` follows the paper's notation: ``(6, 2, 2)`` for ETT/PEMS
+    and ``(7, 1, 2)`` for Weather/Electricity/Traffic.  Views (not copies)
+    are returned.
+    """
+    data = np.asarray(data)
+    total = sum(ratios)
+    if total <= 0 or any(r < 0 for r in ratios):
+        raise ValueError("ratios must be non-negative with positive sum")
+    length = data.shape[0]
+    train_end = length * ratios[0] // total
+    val_end = length * (ratios[0] + ratios[1]) // total
+    return data[:train_end], data[train_end:val_end], data[val_end:]

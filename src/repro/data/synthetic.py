@@ -1,0 +1,164 @@
+"""Synthetic surrogates for the seven public benchmark datasets.
+
+Each generator produces a ``(T, N)`` array sharing the structural
+properties the FOCUS experiments depend on:
+
+- **recurring segment motifs** — a small library of archetypal daily
+  profiles shared across entities, so segment-level clustering finds
+  meaningful prototypes (the paper's Sec. III motivation);
+- **cross-entity correlation** — entities are mixed through a random
+  diffusion graph, giving the entity branch something to model;
+- **weekly modulation and slow drift** — non-stationarity that produces
+  unseen segment shapes in the test split (Sec. VIII-D);
+- **heteroscedastic noise** — per-entity noise levels.
+
+Every generator is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.presets import DatasetSpec, get_spec
+
+
+def _daily_profile_library(
+    steps_per_day: int, n_profiles: int, rng: np.random.Generator, domain: str
+) -> np.ndarray:
+    """Build ``(n_profiles, steps_per_day)`` archetypal daily shapes."""
+    grid = np.linspace(0.0, 1.0, steps_per_day, endpoint=False)
+    profiles = np.zeros((n_profiles, steps_per_day))
+    for i in range(n_profiles):
+        if domain == "traffic":
+            # Double rush-hour peaks with per-profile timing/width.
+            am = 0.30 + 0.04 * rng.standard_normal()
+            pm = 0.74 + 0.04 * rng.standard_normal()
+            width = 0.035 + 0.015 * rng.random()
+            amp_am = 0.8 + 0.4 * rng.random()
+            amp_pm = 0.8 + 0.4 * rng.random()
+            profiles[i] = (
+                amp_am * np.exp(-0.5 * ((grid - am) / width) ** 2)
+                + amp_pm * np.exp(-0.5 * ((grid - pm) / width) ** 2)
+                + 0.15 * np.sin(2 * np.pi * grid + rng.uniform(0, 2 * np.pi))
+            )
+        elif domain == "electricity":
+            # Broad daytime plateau with an evening peak.
+            plateau = np.tanh(8.0 * (grid - 0.27)) - np.tanh(8.0 * (grid - 0.92))
+            evening = np.exp(-0.5 * ((grid - 0.80) / 0.06) ** 2)
+            profiles[i] = (
+                (0.6 + 0.3 * rng.random()) * plateau
+                + (0.5 + 0.5 * rng.random()) * evening
+            )
+        elif domain == "weather":
+            # Smooth diurnal harmonics (temperature-like).
+            phase = rng.uniform(0, 2 * np.pi)
+            profiles[i] = np.sin(2 * np.pi * grid + phase) + 0.3 * np.sin(
+                4 * np.pi * grid + rng.uniform(0, 2 * np.pi)
+            )
+        else:  # "ett" — transformer load/oil temperature
+            phase = rng.uniform(0, 2 * np.pi)
+            profiles[i] = (
+                0.8 * np.sin(2 * np.pi * grid + phase)
+                + 0.4 * np.sin(6 * np.pi * grid + rng.uniform(0, 2 * np.pi))
+                + 0.3 * np.maximum(np.sin(2 * np.pi * grid), 0.0)
+            )
+    # Zero-mean each profile so amplitude choices below control scale.
+    return profiles - profiles.mean(axis=1, keepdims=True)
+
+
+def _diffusion_mixing(num_entities: int, rng: np.random.Generator, strength: float) -> np.ndarray:
+    """Random row-normalized adjacency for cross-entity correlation."""
+    positions = rng.random((num_entities, 2))
+    distance = np.linalg.norm(positions[:, None] - positions[None, :], axis=-1)
+    adjacency = np.exp(-((distance / 0.35) ** 2))
+    np.fill_diagonal(adjacency, 0.0)
+    row_sums = adjacency.sum(axis=1, keepdims=True)
+    row_sums[row_sums == 0.0] = 1.0
+    adjacency = adjacency / row_sums
+    return np.eye(num_entities) + strength * adjacency
+
+
+def _slow_drift(length: int, rng: np.random.Generator, scale: float) -> np.ndarray:
+    """Smoothed random walk giving slow non-stationary drift."""
+    steps = rng.standard_normal(length)
+    walk = np.cumsum(steps)
+    window = max(length // 20, 8)
+    kernel = np.ones(window) / window
+    smooth = np.convolve(walk, kernel, mode="same")
+    denominator = smooth.std() + 1e-12
+    return scale * smooth / denominator
+
+
+def generate_domain(
+    domain: str,
+    length: int,
+    num_entities: int,
+    steps_per_day: int,
+    seed: int = 0,
+    n_profiles: int = 6,
+    noise_scale: float = 0.12,
+    mixing_strength: float = 0.6,
+    drift_scale: float = 0.35,
+) -> np.ndarray:
+    """Generate a ``(length, num_entities)`` multivariate series.
+
+    Parameters are the structural knobs; the defaults are tuned so that
+    segment clustering finds a handful of clear prototypes while the test
+    split still contains drifted (partially unseen) shapes.
+    """
+    rng = np.random.default_rng(seed)
+    profiles = _daily_profile_library(steps_per_day, n_profiles, rng, domain)
+
+    # Each entity blends 1-2 archetypes with its own amplitude and phase jitter.
+    assignment = rng.integers(0, n_profiles, size=num_entities)
+    secondary = rng.integers(0, n_profiles, size=num_entities)
+    blend = rng.uniform(0.0, 0.35, size=num_entities)
+    amplitude = 0.8 + 0.5 * rng.random(num_entities)
+    phase_shift = rng.integers(0, max(steps_per_day // 24, 1), size=num_entities)
+
+    n_days = int(np.ceil(length / steps_per_day)) + 1
+    day_index = np.arange(n_days)
+    weekday_factor = np.where(day_index % 7 >= 5, 0.55, 1.0)  # weekend dip
+    if domain == "weather":
+        weekday_factor = np.ones_like(weekday_factor)  # weather has no weekends
+
+    series = np.zeros((length, num_entities))
+    time_of_day = np.arange(length) % steps_per_day
+    day_of_series = np.arange(length) // steps_per_day
+    # Traffic and electricity have a positive base load that the weekend
+    # factor suppresses (lower weekend *level*, not just amplitude).
+    base_level = 0.6 if domain in ("traffic", "electricity") else 0.0
+    for e in range(num_entities):
+        base = (1.0 - blend[e]) * profiles[assignment[e]] + blend[e] * profiles[secondary[e]]
+        daily = np.roll(base, phase_shift[e])[time_of_day]
+        weekly = weekday_factor[day_of_series]
+        drift = _slow_drift(length, rng, drift_scale)
+        noise = noise_scale * (0.6 + 0.8 * rng.random()) * rng.standard_normal(length)
+        series[:, e] = amplitude[e] * (daily + base_level) * weekly + drift + noise
+
+    mixing = _diffusion_mixing(num_entities, rng, mixing_strength)
+    series = series @ mixing.T
+    # Positive-valued domains (traffic counts, electricity load) get an offset.
+    if domain in ("traffic", "electricity"):
+        series = series - series.min() + 0.1
+    return series
+
+
+def generate(name: str, scale: str = "smoke", seed: int = 0, **overrides) -> np.ndarray:
+    """Generate the synthetic surrogate for a named benchmark dataset.
+
+    ``overrides`` may replace ``length`` / ``num_entities`` (e.g. for
+    parameter studies that sweep the channel count).
+    """
+    spec: DatasetSpec = get_spec(name)
+    length, num_entities = spec.dims(scale)
+    length = overrides.pop("length", length)
+    num_entities = overrides.pop("num_entities", num_entities)
+    return generate_domain(
+        spec.domain,
+        length=length,
+        num_entities=num_entities,
+        steps_per_day=spec.steps_per_day,
+        seed=seed,
+        **overrides,
+    )

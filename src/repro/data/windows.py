@@ -1,0 +1,87 @@
+"""Sliding-window forecasting datasets and a minibatch loader."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+class SlidingWindowDataset:
+    """Lookback/horizon windows over a ``(T, N)`` series.
+
+    Sample ``i`` is ``(X, Y)`` with ``X = data[i : i+L]`` (lookback) and
+    ``Y = data[i+L : i+L+L_f]`` (horizon), matching Definition 3 of the
+    paper (we keep the conventional ``(L, N)`` layout; models transpose
+    internally as needed).
+    """
+
+    def __init__(self, data: np.ndarray, lookback: int, horizon: int, stride: int = 1):
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("expected (T, N) data")
+        if lookback <= 0 or horizon <= 0 or stride <= 0:
+            raise ValueError("lookback, horizon and stride must be positive")
+        if data.shape[0] < lookback + horizon:
+            raise ValueError(
+                f"series of length {data.shape[0]} too short for "
+                f"lookback {lookback} + horizon {horizon}"
+            )
+        self.data = data
+        self.lookback = lookback
+        self.horizon = horizon
+        self.stride = stride
+
+    def __len__(self) -> int:
+        usable = self.data.shape[0] - self.lookback - self.horizon
+        return usable // self.stride + 1
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("window index out of range")
+        start = index * self.stride
+        mid = start + self.lookback
+        return self.data[start:mid], self.data[mid : mid + self.horizon]
+
+    def batch(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Gather windows for ``indices`` into ``(B, L, N)`` / ``(B, L_f, N)``."""
+        xs, ys = zip(*(self[int(i)] for i in indices))
+        return np.stack(xs), np.stack(ys)
+
+
+class DataLoader:
+    """Iterate minibatches of a :class:`SlidingWindowDataset`."""
+
+    def __init__(
+        self,
+        dataset: SlidingWindowDataset,
+        batch_size: int,
+        shuffle: bool = False,
+        seed: int = 0,
+        drop_last: bool = False,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            batch_idx = order[start : start + self.batch_size]
+            if self.drop_last and len(batch_idx) < self.batch_size:
+                break
+            yield self.dataset.batch(batch_idx)

@@ -1,0 +1,41 @@
+"""Neural-network layers built on :mod:`repro.autograd`.
+
+Mirrors the subset of ``torch.nn`` the FOCUS paper and its baselines need:
+module/parameter registration, linear and convolutional layers,
+normalization (LayerNorm / BatchNorm1d / RevIN), dropout, embeddings,
+multi-head attention, and containers, plus weight initialization and
+npz-based state-dict serialization.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.containers import ModuleList, Sequential
+from repro.nn.linear import Linear
+from repro.nn.norm import BatchNorm1d, LayerNorm, RevIN
+from repro.nn.dropout import Dropout
+from repro.nn.embedding import Embedding
+from repro.nn.conv import Conv1d
+from repro.nn.attention import MultiHeadAttention, scaled_dot_product_attention
+from repro.nn.activations import GELU, Identity, ReLU, Sigmoid, Tanh
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ModuleList",
+    "Sequential",
+    "Linear",
+    "LayerNorm",
+    "BatchNorm1d",
+    "RevIN",
+    "Dropout",
+    "Embedding",
+    "Conv1d",
+    "MultiHeadAttention",
+    "scaled_dot_product_attention",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "init",
+]

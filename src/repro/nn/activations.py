@@ -1,0 +1,41 @@
+"""Activation functions as modules (for use inside Sequential)."""
+
+from __future__ import annotations
+
+from repro.autograd import Tensor, gelu, relu, sigmoid, tanh
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    """Module wrapper around :func:`repro.autograd.relu`."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return relu(x)
+
+
+class GELU(Module):
+    """Module wrapper around :func:`repro.autograd.gelu`."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return gelu(x)
+
+
+class Tanh(Module):
+    """Module wrapper around :func:`repro.autograd.tanh`."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return tanh(x)
+
+
+class Sigmoid(Module):
+    """Module wrapper around :func:`repro.autograd.sigmoid`."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return sigmoid(x)
+
+
+class Identity(Module):
+    """Pass-through module (placeholder in Sequential stacks)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x

@@ -1,0 +1,80 @@
+"""Standard multi-head scaled-dot-product attention.
+
+Used by the ``FOCUS-Attn`` ablation variant and by the Transformer
+baselines (PatchTST, Crossformer).  FOCUS's own ProtoAttn lives in
+:mod:`repro.core.protoattn`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, matmul, softmax, swapaxes
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+
+
+def scaled_dot_product_attention(
+    query: Tensor, key: Tensor, value: Tensor, mask: np.ndarray | None = None
+) -> tuple[Tensor, Tensor]:
+    """Attention over the last two axes of ``(..., T, d)`` tensors.
+
+    Returns ``(output, attention_weights)``.  ``mask`` is an additive mask
+    broadcastable to the score shape (use ``-inf`` to block positions).
+    """
+    d_k = query.shape[-1]
+    scores = matmul(query, swapaxes(key, -1, -2)) * (1.0 / np.sqrt(d_k))
+    if mask is not None:
+        scores = scores + Tensor(mask)
+    weights = softmax(scores, axis=-1)
+    return matmul(weights, value), weights
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention with separate Q/K/V projections.
+
+    Input/output shape ``(B, T, d_model)``; ``n_heads`` must divide
+    ``d_model``.
+    """
+
+    def __init__(self, d_model: int, n_heads: int, dropout: float = 0.0):
+        super().__init__()
+        if d_model % n_heads != 0:
+            raise ValueError("d_model must be divisible by n_heads")
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.d_head = d_model // n_heads
+        self.w_q = Linear(d_model, d_model)
+        self.w_k = Linear(d_model, d_model)
+        self.w_v = Linear(d_model, d_model)
+        self.w_o = Linear(d_model, d_model)
+        self.dropout = Dropout(dropout)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, seq_len, _ = x.shape
+        return swapaxes(
+            x.reshape(batch, seq_len, self.n_heads, self.d_head), 1, 2
+        )  # (B, H, T, d_head)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, _, seq_len, _ = x.shape
+        return swapaxes(x, 1, 2).reshape(batch, seq_len, self.d_model)
+
+    def forward(
+        self,
+        query: Tensor,
+        key: Tensor | None = None,
+        value: Tensor | None = None,
+        mask: np.ndarray | None = None,
+    ) -> Tensor:
+        key = query if key is None else key
+        value = key if value is None else value
+        q = self._split_heads(self.w_q(query))
+        k = self._split_heads(self.w_k(key))
+        v = self._split_heads(self.w_v(value))
+        context, _ = scaled_dot_product_attention(q, k, v, mask=mask)
+        return self.w_o(self.dropout(self._merge_heads(context)))
+
+    def _extra_repr(self) -> str:
+        return f"(d_model={self.d_model}, heads={self.n_heads})"

@@ -1,0 +1,133 @@
+"""1-D convolution with stride / padding / dilation (im2col based).
+
+Implemented as a fused autograd op: the forward builds sliding windows
+with numpy stride tricks and contracts them with the kernel via einsum;
+the backward scatters gradients back with ``np.add.at`` (col2im).  This is
+much faster than composing the convolution out of primitive gather ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+def _conv1d_windows(
+    x: np.ndarray, kernel_size: int, stride: int, dilation: int
+) -> np.ndarray:
+    """Return sliding windows ``(B, C, L_out, K)`` of an already-padded input."""
+    span = (kernel_size - 1) * dilation + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x, span, axis=2)
+    return windows[:, :, ::stride, ::dilation]
+
+
+def conv1d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int | tuple[int, int] = 0,
+    dilation: int = 1,
+) -> Tensor:
+    """Cross-correlation of ``x (B, C_in, L)`` with ``weight (C_out, C_in, K)``.
+
+    ``padding`` may be an int (symmetric) or an ``(left, right)`` pair,
+    which enables causal convolutions (pad only on the left).
+    """
+    if isinstance(padding, int):
+        pad_left = pad_right = padding
+    else:
+        pad_left, pad_right = padding
+    batch, c_in, length = x.shape
+    c_out, c_in_w, kernel_size = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input {c_in} vs weight {c_in_w}")
+    span = (kernel_size - 1) * dilation + 1
+    padded_len = length + pad_left + pad_right
+    if padded_len < span:
+        raise ValueError("input (with padding) shorter than kernel span")
+
+    x_padded = np.pad(x.data, ((0, 0), (0, 0), (pad_left, pad_right)))
+    windows = _conv1d_windows(x_padded, kernel_size, stride, dilation)
+    out_data = np.einsum("bclk,ock->bol", windows, weight.data, optimize=True)
+    if bias is not None:
+        out_data = out_data + bias.data[None, :, None]
+    l_out = out_data.shape[2]
+
+    def grad_x(g: np.ndarray) -> np.ndarray:
+        grad_padded = np.zeros_like(x_padded)
+        # d/d windows = einsum('bol,ock->bclk', g, W); scatter back per tap.
+        # For a fixed tap the target positions form a non-overlapping
+        # strided slice, so direct += is safe (and much faster than add.at).
+        grad_windows = np.einsum("bol,ock->bclk", g, weight.data, optimize=True)
+        for tap in range(kernel_size):
+            offset = tap * dilation
+            stop = offset + stride * l_out
+            grad_padded[:, :, offset:stop:stride] += grad_windows[:, :, :, tap]
+        return grad_padded[:, :, pad_left : pad_left + length]
+
+    def grad_w(g: np.ndarray) -> np.ndarray:
+        return np.einsum("bol,bclk->ock", g, windows, optimize=True)
+
+    parents = [(x, grad_x), (weight, grad_w)]
+    if bias is not None:
+        parents.append((bias, lambda g: g.sum(axis=(0, 2))))
+    return Tensor._make(out_data, parents, "conv1d")
+
+
+class Conv1d(Module):
+    """1-D convolution layer over ``(B, C_in, L)`` inputs.
+
+    ``causal=True`` left-pads by ``(K-1)*dilation`` so the output at time t
+    only depends on inputs at times <= t (WaveNet-style).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        dilation: int = 1,
+        bias: bool = True,
+        causal: bool = False,
+    ):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.dilation = dilation
+        self.causal = causal
+        if causal:
+            self.padding: int | tuple[int, int] = ((kernel_size - 1) * dilation, 0)
+        else:
+            self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels, kernel_size))
+        )
+        if bias:
+            bound = 1.0 / np.sqrt(in_channels * kernel_size)
+            self.bias = Parameter(init.uniform((out_channels,), -bound, bound))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv1d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            dilation=self.dilation,
+        )
+
+    def _extra_repr(self) -> str:
+        return (
+            f"(in={self.in_channels}, out={self.out_channels}, "
+            f"k={self.kernel_size}, d={self.dilation}, causal={self.causal})"
+        )

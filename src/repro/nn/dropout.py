@@ -1,0 +1,31 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+from repro.autograd import Tensor
+from repro.nn import init
+from repro.nn.module import Module
+
+
+class Dropout(Module):
+    """Randomly zeroes activations with probability ``p`` during training.
+
+    Uses inverted scaling (kept activations divided by ``1 - p``) so that
+    eval mode is the identity.
+    """
+
+    def __init__(self, p: float = 0.1):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (init.get_rng().random(x.shape) < keep) / keep
+        return x * Tensor(mask)
+
+    def _extra_repr(self) -> str:
+        return f"(p={self.p})"

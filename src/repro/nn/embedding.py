@@ -1,0 +1,28 @@
+"""Learned lookup-table embedding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, gather
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Embedding(Module):
+    """Map integer indices to learned vectors of size ``embedding_dim``."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), std=1.0))
+
+    def forward(self, indices) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError("embedding index out of range")
+        return gather(self.weight, indices, axis=0)
+
+    def _extra_repr(self) -> str:
+        return f"({self.num_embeddings}, {self.embedding_dim})"

@@ -1,0 +1,67 @@
+"""Weight initialization schemes and the library-wide RNG.
+
+All layers draw their initial weights from a single module-level generator
+so that ``init.seed(n)`` makes model construction fully reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GENERATOR = np.random.default_rng(0)
+
+
+def seed(value: int) -> None:
+    """Re-seed the global initialization RNG (reproducible model builds)."""
+    global _GENERATOR
+    _GENERATOR = np.random.default_rng(value)
+
+
+def get_rng() -> np.random.Generator:
+    """The shared initialization generator (also used by Dropout)."""
+    return _GENERATOR
+
+
+def uniform(shape, low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    """Uniform initialization in [low, high)."""
+    return _GENERATOR.uniform(low, high, size=shape)
+
+
+def normal(shape, std: float = 0.02) -> np.ndarray:
+    """Zero-mean Gaussian initialization."""
+    return _GENERATOR.normal(0.0, std, size=shape)
+
+
+def _fan_in_out(shape) -> tuple[int, int]:
+    shape = tuple(shape)
+    if len(shape) < 2:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return _GENERATOR.uniform(-bound, bound, size=shape)
+
+
+def kaiming_uniform(shape, a: float = np.sqrt(5.0)) -> np.ndarray:
+    """He uniform (torch's Linear/Conv default with a=sqrt(5))."""
+    fan_in, _ = _fan_in_out(shape)
+    gain = np.sqrt(2.0 / (1.0 + a**2))
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return _GENERATOR.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zeros initialization."""
+    return np.zeros(shape)
+
+
+def ones(shape) -> np.ndarray:
+    """All-ones initialization."""
+    return np.ones(shape)

@@ -1,0 +1,20 @@
+"""Optimizers and learning-rate schedulers.
+
+The paper optimizes both its prototype refinement (Sec. V) and its
+forecasting network with AdamW (decoupled weight decay, Loshchilov &
+Hutter); :class:`AdamW` here follows the same update rule.
+"""
+
+from repro.optim.optimizers import SGD, Adam, AdamW, Optimizer, clip_grad_norm
+from repro.optim.schedulers import ConstantLR, CosineAnnealingLR, StepLR
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "ConstantLR",
+    "StepLR",
+    "CosineAnnealingLR",
+]

@@ -1,0 +1,55 @@
+"""Learning-rate schedulers (mutate the wrapped optimizer's lr in place)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.optimizers import Optimizer
+
+
+class _Scheduler:
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr(self.epoch)
+
+    def get_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(_Scheduler):
+    """No-op scheduler (uniform interface for Trainer)."""
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(_Scheduler):
+    """Multiply lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine decay from base_lr to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self, epoch: int) -> float:
+        progress = min(epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1.0 + np.cos(np.pi * progress)
+        )

@@ -1,0 +1,13 @@
+"""Analytic efficiency accounting: FLOPs, activation memory, parameters.
+
+The paper (Sec. VIII-A) deliberately reports platform-independent
+efficiency metrics — inference FLOPs, peak memory, and parameter count —
+"to minimize the impact of varying deep learning platforms".  This
+package computes the same three quantities for any ``repro.nn`` model by
+observing every autograd op during a forward pass, so no per-model
+instrumentation is needed.
+"""
+
+from repro.profiling.counter import OpCounter, ProfileReport, count_ops, profile_model
+
+__all__ = ["OpCounter", "ProfileReport", "count_ops", "profile_model"]

@@ -1,0 +1,32 @@
+"""Training loop, metrics, and the experiment runner used by benchmarks."""
+
+from repro.training.metrics import evaluate_forecast, mae, mape, mse, rmse
+from repro.training.trainer import Trainer, TrainerConfig, TrainingHistory
+from repro.training.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    build_model,
+    run_experiment,
+)
+from repro.training.backtest import BacktestReport, rolling_backtest
+from repro.training.reporting import best_model, format_table, rank_by
+
+__all__ = [
+    "BacktestReport",
+    "rolling_backtest",
+    "best_model",
+    "format_table",
+    "rank_by",
+    "mse",
+    "mae",
+    "rmse",
+    "mape",
+    "evaluate_forecast",
+    "Trainer",
+    "TrainerConfig",
+    "TrainingHistory",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "build_model",
+    "run_experiment",
+]

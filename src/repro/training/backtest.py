@@ -1,0 +1,111 @@
+"""Rolling-origin backtesting — the deployment-style evaluation loop.
+
+A production forecaster is retrained (or at least re-evaluated) as time
+advances.  :func:`rolling_backtest` slides an origin through the series,
+evaluating the model on the windows between consecutive origins, and
+optionally refreshing FOCUS's prototypes from the data seen so far
+(testing the paper's premise that prototypes are "relatively universal"
+— Sec. I — against actually re-fitting them).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import autograd as ag
+from repro.autograd import Tensor
+from repro.data.windows import SlidingWindowDataset
+from repro.nn import Module
+from repro.training.metrics import evaluate_forecast
+
+
+@dataclasses.dataclass
+class BacktestFold:
+    """Metrics for one rolling-origin fold."""
+
+    origin: int
+    n_windows: int
+    mse: float
+    mae: float
+
+
+@dataclasses.dataclass
+class BacktestReport:
+    """Aggregated rolling-backtest outcome (window-weighted means)."""
+
+    folds: list[BacktestFold]
+
+    @property
+    def mse(self) -> float:
+        weights = np.array([fold.n_windows for fold in self.folds], dtype=float)
+        values = np.array([fold.mse for fold in self.folds])
+        return float((values * weights).sum() / weights.sum())
+
+    @property
+    def mae(self) -> float:
+        weights = np.array([fold.n_windows for fold in self.folds], dtype=float)
+        values = np.array([fold.mae for fold in self.folds])
+        return float((values * weights).sum() / weights.sum())
+
+    @property
+    def drift(self) -> float:
+        """Slope of per-fold MSE over time (positive = degrading)."""
+        if len(self.folds) < 2:
+            return 0.0
+        xs = np.arange(len(self.folds), dtype=float)
+        ys = np.array([fold.mse for fold in self.folds])
+        xs -= xs.mean()
+        denom = float((xs**2).sum())
+        return float((xs * (ys - ys.mean())).sum() / denom) if denom else 0.0
+
+
+def rolling_backtest(
+    model: Module,
+    series: np.ndarray,
+    lookback: int,
+    horizon: int,
+    n_folds: int = 4,
+    batch_size: int = 64,
+    refresh_prototypes: bool = False,
+) -> BacktestReport:
+    """Evaluate ``model`` over ``n_folds`` consecutive spans of ``series``.
+
+    ``series`` is a normalized ``(T, N)`` array (typically the test
+    split).  With ``refresh_prototypes=True`` and a FOCUS model, the
+    prototypes are re-fit on all data before each fold's origin —
+    simulating periodic offline-phase refreshes in deployment.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    total_windows = series.shape[0] - lookback - horizon + 1
+    if total_windows < n_folds:
+        raise ValueError("series too short for the requested fold count")
+    fold_size = total_windows // n_folds
+    dataset = SlidingWindowDataset(series, lookback, horizon)
+    model.eval()
+    folds = []
+    for fold_index in range(n_folds):
+        start = fold_index * fold_size
+        stop = total_windows if fold_index == n_folds - 1 else start + fold_size
+        if refresh_prototypes and hasattr(model, "fit_prototypes"):
+            seen = series[: start + lookback]
+            if seen.shape[0] >= model.config.segment_length * model.config.num_prototypes:
+                model.fit_prototypes(seen)
+        preds, targets = [], []
+        with ag.no_grad():
+            for batch_start in range(start, stop, batch_size):
+                indices = np.arange(batch_start, min(batch_start + batch_size, stop))
+                xs, ys = dataset.batch(indices)
+                preds.append(model(Tensor(xs)).data)
+                targets.append(ys)
+        metrics = evaluate_forecast(np.concatenate(preds), np.concatenate(targets))
+        folds.append(
+            BacktestFold(
+                origin=start,
+                n_windows=stop - start,
+                mse=metrics["mse"],
+                mae=metrics["mae"],
+            )
+        )
+    return BacktestReport(folds=folds)

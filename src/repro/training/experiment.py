@@ -1,0 +1,138 @@
+"""Experiment runner shared by the Table III / IV / figure benchmarks.
+
+One call of :func:`run_experiment` reproduces the paper's per-cell
+protocol: generate the dataset, run FOCUS's offline clustering (when the
+model is FOCUS), train with the shared Trainer, evaluate MSE/MAE on the
+test split, and account FLOPs / activation memory / parameters with the
+profiler.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.baselines import build_baseline
+from repro.core import ClusteringConfig, FOCUSConfig, make_focus_variant
+from repro.data import ForecastingData, load_dataset
+from repro.nn import Module
+from repro.nn import init as nn_init
+from repro.profiling import ProfileReport, profile_model
+from repro.training.trainer import Trainer, TrainerConfig
+
+
+@dataclasses.dataclass
+class ExperimentConfig:
+    """Everything needed to reproduce one table cell."""
+
+    model: str
+    dataset: str
+    lookback: int = 96
+    horizon: int = 24
+    scale: str = "smoke"
+    seed: int = 0
+    segment_length: int = 12
+    num_prototypes: int = 8
+    d_model: int = 64
+    num_readout: int = 16
+    trainer: TrainerConfig = dataclasses.field(default_factory=TrainerConfig)
+    eval_stride: int = 4
+    train_stride: int = 1
+    model_kwargs: dict = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Accuracy + efficiency numbers for one (model, dataset, horizon)."""
+
+    config: ExperimentConfig
+    metrics: dict[str, float]
+    profile: ProfileReport
+    train_seconds: float
+
+    @property
+    def mse(self) -> float:
+        return self.metrics["mse"]
+
+    @property
+    def mae(self) -> float:
+        return self.metrics["mae"]
+
+    def row(self) -> dict[str, float | str]:
+        """Flat record for tabular printing."""
+        return {
+            "model": self.config.model,
+            "dataset": self.config.dataset,
+            "horizon": self.config.horizon,
+            "mse": round(self.mse, 4),
+            "mae": round(self.mae, 4),
+            "flops_m": round(self.profile.mflops, 2),
+            "mem_mb": round(self.profile.activation_mb, 2),
+            "params_k": round(self.profile.parameter_k, 1),
+        }
+
+
+FOCUS_VARIANTS = {"focus", "focus-attn", "focus-lnrfusion", "focus-alllnr"}
+
+
+def build_model(config: ExperimentConfig, data: ForecastingData) -> Module:
+    """Construct (and, for FOCUS, offline-fit) the requested model."""
+    nn_init.seed(config.seed)
+    name = config.model.lower()
+    if name in FOCUS_VARIANTS:
+        focus_config = FOCUSConfig(
+            lookback=config.lookback,
+            horizon=config.horizon,
+            num_entities=data.num_entities,
+            segment_length=config.segment_length,
+            num_prototypes=config.num_prototypes,
+            d_model=config.d_model,
+            num_readout=config.num_readout,
+            **config.model_kwargs,
+        )
+        variant = {"focus": "focus", "focus-attn": "attn",
+                   "focus-lnrfusion": "lnr_fusion", "focus-alllnr": "all_lnr"}[name]
+        model = make_focus_variant(variant, focus_config)
+        if variant in ("focus", "lnr_fusion"):
+            model.fit_prototypes(
+                data.train,
+                ClusteringConfig(
+                    num_prototypes=config.num_prototypes,
+                    segment_length=config.segment_length,
+                    seed=config.seed,
+                ),
+            )
+        return model
+    kwargs = dict(config.model_kwargs)
+    if name in ("patchtst",):
+        kwargs.setdefault("patch_length", config.segment_length)
+        kwargs.setdefault("d_model", config.d_model)
+    if name in ("crossformer",):
+        kwargs.setdefault("segment_length", config.segment_length)
+        kwargs.setdefault("d_model", config.d_model)
+    return build_baseline(
+        config.model, config.lookback, config.horizon, data.num_entities, **kwargs
+    )
+
+
+def run_experiment(
+    config: ExperimentConfig, data: ForecastingData | None = None
+) -> ExperimentResult:
+    """Train and evaluate one model on one dataset; profile its inference."""
+    if data is None:
+        data = load_dataset(config.dataset, scale=config.scale, seed=config.seed)
+    model = build_model(config, data)
+    trainer = Trainer(model, config.trainer)
+    train_windows = data.windows(
+        "train", config.lookback, config.horizon, stride=config.train_stride
+    )
+    val_windows = data.windows("val", config.lookback, config.horizon)
+    history = trainer.fit(train_windows, val_windows)
+    test_windows = data.windows("test", config.lookback, config.horizon)
+    metrics = trainer.evaluate(test_windows, stride_subsample=config.eval_stride)
+    profile = profile_model(model, (1, config.lookback, data.num_entities))
+    return ExperimentResult(
+        config=config,
+        metrics=metrics,
+        profile=profile,
+        train_seconds=history.train_seconds,
+    )

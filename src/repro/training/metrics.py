@@ -1,0 +1,49 @@
+"""Forecast accuracy metrics (the paper reports MSE and MAE)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(pred: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    return pred, target
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error."""
+    pred, target = _validate(pred, target)
+    return float(((pred - target) ** 2).mean())
+
+
+def mae(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error."""
+    pred, target = _validate(pred, target)
+    return float(np.abs(pred - target).mean())
+
+
+def rmse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(pred, target)))
+
+
+def mape(pred: np.ndarray, target: np.ndarray, eps: float = 1e-8) -> float:
+    """Mean absolute percentage error (small denominators masked)."""
+    pred, target = _validate(pred, target)
+    mask = np.abs(target) > eps
+    if not mask.any():
+        return 0.0
+    return float((np.abs(pred - target)[mask] / np.abs(target)[mask]).mean())
+
+
+def evaluate_forecast(pred: np.ndarray, target: np.ndarray) -> dict[str, float]:
+    """All metrics at once, keyed by name."""
+    return {
+        "mse": mse(pred, target),
+        "mae": mae(pred, target),
+        "rmse": rmse(pred, target),
+        "mape": mape(pred, target),
+    }

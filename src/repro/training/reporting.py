@@ -1,0 +1,39 @@
+"""Plain-text tabular reporting for benchmark output.
+
+The benchmark harness prints the same rows the paper's tables report;
+these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    widths = {
+        col: max(len(str(col)), *(len(str(row.get(col, ""))) for row in rows))
+        for col in columns
+    }
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    rule = "-+-".join("-" * widths[col] for col in columns)
+    lines = [header, rule]
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns)
+        )
+    body = "\n".join(lines)
+    return f"{title}\n{body}" if title else body
+
+
+def rank_by(rows: Sequence[Mapping[str, object]], key: str) -> list[Mapping[str, object]]:
+    """Rows sorted ascending by a numeric column (lower = better)."""
+    return sorted(rows, key=lambda row: float(row[key]))
+
+
+def best_model(rows: Sequence[Mapping[str, object]], key: str = "mse") -> str:
+    """Name of the winning model in a result table."""
+    return str(rank_by(rows, key)[0]["model"])

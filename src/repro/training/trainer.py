@@ -1,0 +1,147 @@
+"""Minibatch trainer with validation-based early stopping."""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro import autograd as ag
+from repro.autograd import Tensor
+from repro.data.windows import DataLoader, SlidingWindowDataset
+from repro.nn import Module
+from repro.optim import AdamW, clip_grad_norm
+from repro.training.metrics import evaluate_forecast
+
+
+@dataclasses.dataclass
+class TrainerConfig:
+    """Training hyperparameters (shared by FOCUS and all baselines for a
+    fair Table III comparison)."""
+
+    epochs: int = 5
+    batch_size: int = 32
+    lr: float = 3e-3
+    weight_decay: float = 1e-4
+    grad_clip: float = 5.0
+    patience: int = 3
+    restore_best: bool = True
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclasses.dataclass
+class TrainingHistory:
+    """Per-epoch losses and timing collected during :meth:`Trainer.fit`."""
+
+    train_losses: list[float] = dataclasses.field(default_factory=list)
+    val_losses: list[float] = dataclasses.field(default_factory=list)
+    best_epoch: int = -1
+    train_seconds: float = 0.0
+
+    @property
+    def best_val_loss(self) -> float:
+        if not self.val_losses:
+            return float("nan")
+        return self.val_losses[self.best_epoch]
+
+
+class Trainer:
+    """MSE-objective trainer mirroring the paper's protocol.
+
+    Trains with AdamW, clips gradients, restores the best-validation
+    weights at the end (early stopping with ``patience``).
+    """
+
+    def __init__(self, model: Module, config: TrainerConfig | None = None):
+        self.model = model
+        self.config = config or TrainerConfig()
+        self.optimizer = AdamW(
+            model.parameters(), lr=self.config.lr, weight_decay=self.config.weight_decay
+        )
+
+    def _epoch(self, loader: DataLoader) -> float:
+        self.model.train()
+        total, batches = 0.0, 0
+        for x_batch, y_batch in loader:
+            pred = self.model(Tensor(x_batch))
+            loss = ((pred - Tensor(y_batch)) ** 2.0).mean()
+            if not np.isfinite(loss.item()):
+                raise RuntimeError(
+                    f"non-finite training loss ({loss.item()}) at batch {batches}; "
+                    "check the learning rate and input normalization"
+                )
+            self.optimizer.zero_grad()
+            loss.backward()
+            if self.config.grad_clip:
+                clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
+            self.optimizer.step()
+            total += loss.item()
+            batches += 1
+        return total / max(batches, 1)
+
+    def validation_loss(self, dataset: SlidingWindowDataset, max_batches: int | None = None) -> float:
+        self.model.eval()
+        loader = DataLoader(dataset, self.config.batch_size)
+        total, batches = 0.0, 0
+        with ag.no_grad():
+            for x_batch, y_batch in loader:
+                pred = self.model(Tensor(x_batch))
+                total += float(((pred.data - y_batch) ** 2).mean())
+                batches += 1
+                if max_batches is not None and batches >= max_batches:
+                    break
+        return total / max(batches, 1)
+
+    def fit(
+        self,
+        train_dataset: SlidingWindowDataset,
+        val_dataset: SlidingWindowDataset | None = None,
+    ) -> TrainingHistory:
+        cfg = self.config
+        loader = DataLoader(
+            train_dataset, cfg.batch_size, shuffle=True, seed=cfg.seed
+        )
+        history = TrainingHistory()
+        best_state = None
+        bad_epochs = 0
+        started = time.perf_counter()
+        for epoch in range(cfg.epochs):
+            train_loss = self._epoch(loader)
+            history.train_losses.append(train_loss)
+            if val_dataset is not None:
+                val_loss = self.validation_loss(val_dataset)
+                history.val_losses.append(val_loss)
+                if history.best_epoch < 0 or val_loss < history.best_val_loss:
+                    history.best_epoch = epoch
+                    if cfg.restore_best:
+                        best_state = self.model.state_dict()
+                    bad_epochs = 0
+                else:
+                    bad_epochs += 1
+                if cfg.verbose:
+                    print(f"epoch {epoch}: train {train_loss:.4f} val {val_loss:.4f}")
+                if bad_epochs > cfg.patience:
+                    break
+            elif cfg.verbose:
+                print(f"epoch {epoch}: train {train_loss:.4f}")
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        history.train_seconds = time.perf_counter() - started
+        return history
+
+    def evaluate(
+        self, dataset: SlidingWindowDataset, stride_subsample: int = 1
+    ) -> dict[str, float]:
+        """Metrics over a dataset (optionally subsampled for speed)."""
+        self.model.eval()
+        indices = np.arange(0, len(dataset), stride_subsample)
+        preds, targets = [], []
+        with ag.no_grad():
+            for start in range(0, len(indices), self.config.batch_size):
+                batch_idx = indices[start : start + self.config.batch_size]
+                x_batch, y_batch = dataset.batch(batch_idx)
+                preds.append(self.model(Tensor(x_batch)).data)
+                targets.append(y_batch)
+        return evaluate_forecast(np.concatenate(preds), np.concatenate(targets))

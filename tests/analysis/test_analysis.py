@@ -1,0 +1,153 @@
+"""Tests for t-SNE, prototype approximation, dependency extraction, and
+unseen-segment scoring."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    approximate_series,
+    extract_dependencies,
+    select_unseen_instances,
+    tsne,
+    unseen_segment_scores,
+)
+from repro.core import ClusteringConfig, FOCUSConfig, FOCUSForecaster, SegmentClusterer
+from repro.data import SlidingWindowDataset
+
+
+class TestTSNE:
+    def test_output_shape(self, rng):
+        points = rng.standard_normal((40, 8))
+        out = tsne(points, n_iter=60, seed=0)
+        assert out.shape == (40, 2)
+        assert np.isfinite(out).all()
+
+    def test_separates_well_separated_clusters(self, rng):
+        a = rng.standard_normal((25, 6)) + 0.0
+        b = rng.standard_normal((25, 6)) + 30.0
+        embedding = tsne(np.vstack([a, b]), n_iter=200, seed=0)
+        centroid_a = embedding[:25].mean(axis=0)
+        centroid_b = embedding[25:].mean(axis=0)
+        spread_a = np.linalg.norm(embedding[:25] - centroid_a, axis=1).mean()
+        spread_b = np.linalg.norm(embedding[25:] - centroid_b, axis=1).mean()
+        separation = np.linalg.norm(centroid_a - centroid_b)
+        assert separation > 2.0 * max(spread_a, spread_b)
+
+    def test_deterministic_given_seed(self, rng):
+        points = rng.standard_normal((20, 4))
+        a = tsne(points, n_iter=50, seed=3)
+        b = tsne(points, n_iter=50, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_too_few_points_raises(self, rng):
+        with pytest.raises(ValueError, match="at least 3"):
+            tsne(rng.standard_normal((2, 4)))
+
+    def test_centered_output(self, rng):
+        out = tsne(rng.standard_normal((30, 5)), n_iter=50, seed=0)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-9)
+
+
+@pytest.fixture
+def fitted_clusterer(rng):
+    grid = np.linspace(0, 2 * np.pi, 8)
+    motifs = np.stack([np.sin(grid), np.cos(grid), np.abs(np.sin(grid))])
+    segments = np.concatenate(
+        [m + 0.05 * rng.standard_normal((30, 8)) for m in motifs]
+    )
+    return SegmentClusterer(
+        ClusteringConfig(num_prototypes=3, segment_length=8, seed=0)
+    ).fit(segments)
+
+
+class TestApproximateSeries:
+    def test_reconstruction_tracks_series(self, fitted_clusterer, rng):
+        grid = np.linspace(0, 2 * np.pi, 8)
+        series = np.tile(np.sin(grid), 5) + 0.02 * rng.standard_normal(40)
+        result = approximate_series(series, fitted_clusterer)
+        assert result.approximation.shape == result.original.shape
+        assert result.correlation > 0.9
+
+    def test_moment_matching_improves_scaled_series(self, fitted_clusterer, rng):
+        grid = np.linspace(0, 2 * np.pi, 8)
+        series = 7.0 * np.tile(np.sin(grid), 4) + 3.0
+        with_moments = approximate_series(series, fitted_clusterer, match_moments=True)
+        without = approximate_series(series, fitted_clusterer, match_moments=False)
+        assert with_moments.mse < without.mse
+
+    def test_remainder_dropped(self, fitted_clusterer, rng):
+        series = rng.standard_normal(21)  # 8*2 + 5 remainder
+        result = approximate_series(series, fitted_clusterer)
+        assert len(result.approximation) == 16
+
+    def test_rejects_2d(self, fitted_clusterer, rng):
+        with pytest.raises(ValueError, match="1-D"):
+            approximate_series(rng.standard_normal((10, 2)), fitted_clusterer)
+
+    def test_labels_returned(self, fitted_clusterer, rng):
+        series = rng.standard_normal(24)
+        result = approximate_series(series, fitted_clusterer)
+        assert result.labels.shape == (3,)
+
+
+class TestExtractDependencies:
+    def _model(self, rng):
+        cfg = FOCUSConfig(
+            lookback=24, horizon=6, num_entities=3, segment_length=6,
+            num_prototypes=4, d_model=8, num_readout=2,
+        )
+        return FOCUSForecaster(cfg, prototypes=rng.standard_normal((4, 6)))
+
+    def test_shapes(self, rng):
+        model = self._model(rng)
+        result = extract_dependencies(model, rng.standard_normal((24, 3)))
+        assert result.matrix.shape == (4, 4)
+        assert result.per_entity.shape == (3, 4, 4)
+        assert result.assignment.shape == (3, 4)
+
+    def test_rows_are_distributions(self, rng):
+        model = self._model(rng)
+        result = extract_dependencies(model, rng.standard_normal((24, 3)))
+        assert np.allclose(result.per_entity.sum(axis=-1), 1.0)
+
+    def test_rejects_batched_input(self, rng):
+        model = self._model(rng)
+        with pytest.raises(ValueError, match="single"):
+            extract_dependencies(model, rng.standard_normal((2, 24, 3)))
+
+
+class TestUnseenSegments:
+    def _setup(self, rng):
+        grid = np.linspace(0, 2 * np.pi, 6)
+        day = np.sin(grid)
+        train = np.tile(day, 50)[:, None] + 0.02 * rng.standard_normal((300, 1))
+        clusterer = SegmentClusterer(
+            ClusteringConfig(num_prototypes=3, segment_length=6, seed=0)
+        ).fit(train)
+        # Test data: mostly familiar, but one window contains a huge spike
+        # shape never seen in training.
+        test = np.tile(day, 20)[:, None] + 0.02 * rng.standard_normal((120, 1))
+        test[60:66, 0] = np.array([0.0, 8.0, -8.0, 8.0, -8.0, 0.0])
+        windows = SlidingWindowDataset(test, lookback=12, horizon=6)
+        return clusterer, train, windows
+
+    def test_scores_flag_novel_window(self, rng):
+        clusterer, train, windows = self._setup(rng)
+        scores = unseen_segment_scores(clusterer, train, windows)
+        assert scores.shape == (len(windows),)
+        # Windows overlapping the spike must score far above the familiar ones.
+        spike_windows = [i for i in range(len(windows)) if i + 12 > 60 and i < 66]
+        familiar = [i for i in range(len(windows)) if i not in spike_windows]
+        assert scores[spike_windows].max() > 10 * scores[familiar].max()
+
+    def test_select_unseen_returns_descending(self, rng):
+        clusterer, train, windows = self._setup(rng)
+        chosen = select_unseen_instances(clusterer, train, windows, top_fraction=0.2)
+        scores = unseen_segment_scores(clusterer, train, windows)
+        assert len(chosen) == max(int(round(0.2 * len(windows))), 1)
+        assert np.all(np.diff(scores[chosen]) <= 1e-12)
+
+    def test_top_fraction_validated(self, rng):
+        clusterer, train, windows = self._setup(rng)
+        with pytest.raises(ValueError):
+            select_unseen_instances(clusterer, train, windows, top_fraction=0.0)

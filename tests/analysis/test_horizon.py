@@ -1,0 +1,69 @@
+"""Tests for per-horizon-step error profiles."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.analysis.horizon import HorizonProfile, horizon_error_profile
+from repro.baselines import DLinear
+from repro.data import SlidingWindowDataset
+
+
+@pytest.fixture
+def windows(rng):
+    data = np.cumsum(rng.standard_normal((300, 2)), axis=0) * 0.1
+    return SlidingWindowDataset(data, lookback=24, horizon=8)
+
+
+class TestHorizonProfile:
+    def test_shapes(self, windows):
+        nn.init.seed(0)
+        model = DLinear(24, 8, 2)
+        profile = horizon_error_profile(model, windows, stride=4)
+        assert profile.mse_per_step.shape == (8,)
+        assert profile.mae_per_step.shape == (8,)
+        assert profile.mse_per_entity.shape == (2,)
+        assert np.isfinite(profile.mse_per_step).all()
+
+    def test_aggregates_match_overall_metrics(self, windows):
+        """Mean of per-step MSE equals the flat MSE over all points."""
+        from repro import autograd as ag
+
+        nn.init.seed(0)
+        model = DLinear(24, 8, 2)
+        profile = horizon_error_profile(model, windows)
+        indices = np.arange(len(windows))
+        xs, ys = windows.batch(indices)
+        with ag.no_grad():
+            preds = model(ag.Tensor(xs)).data
+        overall = float(((preds - ys) ** 2).mean())
+        assert profile.mse_per_step.mean() == pytest.approx(overall, rel=1e-9)
+
+    def test_random_walk_errors_grow_with_lead_time(self, windows):
+        """On a random walk, later steps are inherently harder."""
+        nn.init.seed(0)
+        model = DLinear(24, 8, 2)
+        # Brief training so the model approximates persistence.
+        from repro import autograd as ag, optim
+
+        opt = optim.Adam(model.parameters(), lr=1e-2)
+        xs, ys = windows.batch(np.arange(0, len(windows), 2))
+        for _ in range(60):
+            loss = ((model(ag.Tensor(xs)) - ag.Tensor(ys)) ** 2.0).mean()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        profile = horizon_error_profile(model, windows)
+        assert profile.mse_per_step[-1] > profile.mse_per_step[0]
+        assert profile.degradation > 1.0
+
+    def test_max_windows_limits_work(self, windows):
+        model = DLinear(24, 8, 2)
+        profile = horizon_error_profile(model, windows, max_windows=10)
+        assert np.isfinite(profile.mse_per_step).all()
+
+    def test_degradation_of_flat_profile(self):
+        profile = HorizonProfile(
+            mse_per_step=np.ones(5), mae_per_step=np.ones(5), mse_per_entity=np.ones(2)
+        )
+        assert profile.degradation == pytest.approx(1.0)

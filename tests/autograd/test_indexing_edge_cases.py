@@ -1,0 +1,72 @@
+"""Advanced indexing gradients: boolean masks, negative steps, fancy combos."""
+
+import numpy as np
+import pytest
+
+from repro import autograd as ag
+
+
+class TestBooleanIndexing:
+    def test_boolean_mask_forward(self, rng):
+        x = ag.Tensor(rng.standard_normal((4, 5)))
+        mask = x.data > 0
+        out = x[mask]
+        assert np.array_equal(out.data, x.data[mask])
+
+    def test_boolean_mask_gradient(self, rng):
+        x = ag.Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        mask = x.data > 0
+        ag.gradcheck(lambda t: t[mask] * 2.0, [x])
+
+    def test_all_false_mask(self, rng):
+        x = ag.Tensor(rng.standard_normal(5), requires_grad=True)
+        out = x[np.zeros(5, dtype=bool)]
+        assert out.shape == (0,)
+        out.sum().backward()
+        assert np.allclose(x.grad, 0.0)
+
+
+class TestSliceVariants:
+    def test_negative_step(self, rng):
+        x = ag.Tensor(rng.standard_normal(6), requires_grad=True)
+        ag.gradcheck(lambda t: t[::-1] * np.arange(6.0), [x])
+
+    def test_negative_indices(self, rng):
+        x = ag.Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        ag.gradcheck(lambda t: t[-2:, -1], [x])
+
+    def test_scalar_index_reduces_rank(self, rng):
+        x = ag.Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        out = x[2]
+        assert out.shape == (3,)
+        out.sum().backward()
+        expected = np.zeros((4, 3))
+        expected[2] = 1.0
+        assert np.allclose(x.grad, expected)
+
+    def test_ellipsis_and_none(self, rng):
+        x = ag.Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        out = x[..., 0]
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        assert x.grad.sum() == pytest.approx(6.0)
+
+
+class TestFancyIndexing:
+    def test_integer_array_rows(self, rng):
+        x = ag.Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+        ag.gradcheck(lambda t: t[np.array([4, 0, 4])], [x])
+
+    def test_pair_of_index_arrays(self, rng):
+        x = ag.Tensor(rng.standard_normal((4, 4)), requires_grad=True)
+        rows = np.array([0, 1, 3])
+        cols = np.array([2, 2, 0])
+        ag.gradcheck(lambda t: t[rows, cols], [x])
+
+    def test_repeated_pairs_accumulate(self):
+        x = ag.tensor(np.zeros((3, 3)), requires_grad=True)
+        rows = np.array([1, 1, 1])
+        cols = np.array([2, 2, 2])
+        x[rows, cols].sum().backward()
+        assert x.grad[1, 2] == pytest.approx(3.0)
+        assert x.grad.sum() == pytest.approx(3.0)

@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) for autograd invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import autograd as ag
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def arrays(max_side=5, max_dims=3):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=1, max_dims=max_dims, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays())
+def test_softmax_is_probability_distribution(data):
+    out = ag.softmax(ag.tensor(data), axis=-1).data
+    assert np.all(out >= 0.0)
+    assert np.allclose(out.sum(axis=-1), 1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays())
+def test_sum_gradient_is_ones(data):
+    x = ag.Tensor(data, requires_grad=True)
+    x.sum().backward()
+    assert np.allclose(x.grad, np.ones_like(data))
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays())
+def test_mean_gradient_sums_to_one(data):
+    x = ag.Tensor(data, requires_grad=True)
+    x.mean().backward()
+    assert np.allclose(x.grad.sum(), 1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(), finite_floats)
+def test_linearity_of_backward(data, scale):
+    """grad of (c*f) equals c * grad of f."""
+    x1 = ag.Tensor(data, requires_grad=True)
+    (x1 * x1).sum().backward()
+    x2 = ag.Tensor(data, requires_grad=True)
+    ((x2 * x2) * scale).sum().backward()
+    assert np.allclose(x2.grad, scale * x1.grad, atol=1e-8)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays())
+def test_add_commutative_forward_and_backward(data):
+    a1 = ag.Tensor(data, requires_grad=True)
+    b1 = ag.Tensor(2.0 * data, requires_grad=True)
+    (a1 + b1).sum().backward()
+    a2 = ag.Tensor(data, requires_grad=True)
+    b2 = ag.Tensor(2.0 * data, requires_grad=True)
+    (b2 + a2).sum().backward()
+    assert np.allclose(a1.grad, a2.grad)
+    assert np.allclose(b1.grad, b2.grad)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(max_dims=2))
+def test_reshape_roundtrip_preserves_grad(data):
+    x = ag.Tensor(data, requires_grad=True)
+    y = x.reshape(-1).reshape(data.shape)
+    (y * 3.0).sum().backward()
+    assert np.allclose(x.grad, 3.0 * np.ones_like(data))
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(max_dims=2))
+def test_transpose_involution(data):
+    x = ag.tensor(data)
+    assert np.allclose(x.T.T.data, data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(max_dims=3))
+def test_exp_log_inverse(data):
+    x = ag.tensor(data)
+    assert np.allclose(ag.log(ag.exp(x)).data, data, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays())
+def test_relu_idempotent(data):
+    x = ag.tensor(data)
+    once = ag.relu(x).data
+    twice = ag.relu(ag.relu(x)).data
+    assert np.array_equal(once, twice)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays())
+def test_sigmoid_symmetry(data):
+    x = ag.tensor(data)
+    assert np.allclose(
+        ag.sigmoid(x).data + ag.sigmoid(-x).data, np.ones_like(data), atol=1e-12
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hnp.arrays(np.float64, (3, 4), elements=finite_floats),
+    hnp.arrays(np.float64, (4, 2), elements=finite_floats),
+)
+def test_matmul_matches_numpy(a, b):
+    out = ag.matmul(ag.tensor(a), ag.tensor(b))
+    assert np.allclose(out.data, a @ b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(np.float64, (4, 3), elements=finite_floats))
+def test_var_matches_numpy(data):
+    assert np.allclose(ag.var(ag.tensor(data), axis=0).data, data.var(axis=0), atol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(np.float64, (2, 6), elements=finite_floats))
+def test_split_concat_roundtrip(data):
+    x = ag.tensor(data)
+    assert np.allclose(ag.concat(ag.split(x, 3, axis=1), axis=1).data, data)

@@ -1,0 +1,223 @@
+"""Unit tests for the Tensor core: graph construction and backward."""
+
+import numpy as np
+import pytest
+
+from repro import autograd as ag
+from repro.autograd.tensor import unbroadcast
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = ag.tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+        assert not t.requires_grad
+
+    def test_construction_copies_data(self):
+        source = np.zeros(3)
+        t = ag.tensor(source)
+        source[0] = 99.0
+        assert t.data[0] == 0.0
+
+    def test_as_tensor_is_identity_on_tensor(self):
+        t = ag.tensor([1.0])
+        assert ag.as_tensor(t) is t
+
+    def test_item_and_len(self):
+        assert ag.tensor([[3.5]]).item() == 3.5
+        assert len(ag.zeros((4, 2))) == 4
+
+    def test_detach_shares_data_but_cuts_graph(self):
+        t = ag.tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_copy_is_deep(self):
+        t = ag.tensor([1.0, 2.0], requires_grad=True)
+        c = t.copy()
+        c.data[0] = 7.0
+        assert t.data[0] == 1.0
+
+    def test_creation_helpers(self):
+        assert ag.zeros((2, 3)).data.sum() == 0.0
+        assert ag.ones((2, 3)).data.sum() == 6.0
+        assert ag.zeros_like(ag.ones((2, 2))).shape == (2, 2)
+        assert ag.ones_like(ag.zeros((2, 2))).data.sum() == 4.0
+        assert np.array_equal(ag.arange(3).data, [0.0, 1.0, 2.0])
+        assert ag.randn(4, 5, rng=np.random.default_rng(0)).shape == (4, 5)
+
+
+class TestBackward:
+    def test_scalar_backward_default_grad(self):
+        x = ag.tensor(3.0, requires_grad=True)
+        (x * x).backward()
+        assert x.grad == pytest.approx(6.0)
+
+    def test_nonscalar_backward_requires_grad_argument(self):
+        x = ag.tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError, match="non-scalar"):
+            (x * 2.0).backward()
+
+    def test_backward_on_no_grad_tensor_raises(self):
+        x = ag.tensor([1.0])
+        with pytest.raises(RuntimeError, match="does not require grad"):
+            x.backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = ag.tensor(2.0, requires_grad=True)
+        (x * 3.0).backward()
+        (x * 3.0).backward()
+        assert x.grad == pytest.approx(6.0)
+
+    def test_zero_grad(self):
+        x = ag.tensor(2.0, requires_grad=True)
+        (x * 3.0).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        # y = x*x + x*x uses x via two paths; dy/dx = 4x
+        x = ag.tensor(3.0, requires_grad=True)
+        y = x * x
+        (y + y).backward()
+        assert x.grad == pytest.approx(12.0)
+
+    def test_reused_subexpression(self):
+        x = ag.tensor(2.0, requires_grad=True)
+        y = x * 5.0
+        z = y * y  # z = 25 x^2, dz/dx = 50x
+        z.backward()
+        assert x.grad == pytest.approx(100.0)
+
+    def test_root_grad_is_stored(self):
+        x = ag.tensor([1.0, 2.0], requires_grad=True)
+        y = (x * x).sum()
+        y.backward()
+        assert y.grad == pytest.approx(1.0)
+
+    def test_graph_not_built_for_untracked_inputs(self):
+        a = ag.tensor([1.0])
+        b = ag.tensor([2.0])
+        c = a + b
+        assert not c.requires_grad
+        assert c._parents == []
+
+    def test_deep_chain_does_not_recurse(self):
+        # Iterative topological sort must handle chains deeper than the
+        # Python recursion limit.
+        x = ag.tensor(1.0, requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.backward()
+        assert x.grad == pytest.approx(1.0)
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_graph(self):
+        x = ag.tensor([1.0], requires_grad=True)
+        with ag.no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert ag.is_grad_enabled()
+        with ag.no_grad():
+            assert not ag.is_grad_enabled()
+        assert ag.is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with ag.no_grad():
+                raise ValueError("boom")
+        assert ag.is_grad_enabled()
+
+    def test_nested_no_grad(self):
+        with ag.no_grad():
+            with ag.no_grad():
+                assert not ag.is_grad_enabled()
+            assert not ag.is_grad_enabled()
+
+
+class TestUnbroadcast:
+    def test_identity_when_shapes_match(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)) is g
+
+    def test_sums_leading_axes(self):
+        g = np.ones((4, 2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+        assert unbroadcast(g, (2, 3))[0, 0] == 4.0
+
+    def test_sums_expanded_axes(self):
+        g = np.ones((2, 3))
+        out = unbroadcast(g, (2, 1))
+        assert out.shape == (2, 1)
+        assert out[0, 0] == 3.0
+
+    def test_scalar_target(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, ()) == 6.0
+
+
+class TestOperators:
+    def test_add_broadcast_gradients(self, rng):
+        a = ag.Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = ag.Tensor(rng.standard_normal((4,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, np.ones((3, 4)))
+        assert np.allclose(b.grad, 3.0 * np.ones(4))
+
+    def test_radd_rsub_rmul_rdiv(self):
+        x = ag.tensor(2.0, requires_grad=True)
+        assert (3.0 + x).item() == 5.0
+        assert (3.0 - x).item() == 1.0
+        assert (3.0 * x).item() == 6.0
+        assert (3.0 / x).item() == 1.5
+        y = 3.0 / x
+        y.backward()
+        assert x.grad == pytest.approx(-0.75)
+
+    def test_pow_constant(self, rng):
+        x = ag.Tensor(np.abs(rng.standard_normal(5)) + 0.5, requires_grad=True)
+        ag.gradcheck(lambda t: t ** 3.0, [x])
+
+    def test_pow_tensor_exponent(self, rng):
+        base = ag.Tensor(np.abs(rng.standard_normal(4)) + 0.5, requires_grad=True)
+        expo = ag.Tensor(rng.standard_normal(4), requires_grad=True)
+        ag.gradcheck(lambda b, e: b ** e, [base, expo])
+
+    def test_comparison_returns_ndarray(self):
+        a = ag.tensor([1.0, 2.0])
+        b = ag.tensor([2.0, 1.0])
+        assert isinstance(a < b, np.ndarray)
+        assert (a < b).tolist() == [True, False]
+        assert (a == a).all()
+
+    def test_getitem_scatter_gradient(self, rng):
+        x = ag.Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        ag.gradcheck(lambda t: t[1:3, ::2], [x])
+
+    def test_getitem_repeated_index_accumulates(self):
+        x = ag.tensor([1.0, 2.0, 3.0], requires_grad=True)
+        y = x[np.array([0, 0, 2])]
+        y.sum().backward()
+        assert np.allclose(x.grad, [2.0, 0.0, 1.0])
+
+    def test_matmul_operator(self, rng):
+        a = ag.Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = ag.Tensor(rng.standard_normal((3, 2)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (2, 2)
+        assert np.allclose(out.data, a.data @ b.data)
+
+    def test_neg(self):
+        x = ag.tensor([1.0, -2.0], requires_grad=True)
+        (-x).sum().backward()
+        assert np.allclose(x.grad, [-1.0, -1.0])
+
+    def test_transpose_property(self, rng):
+        a = ag.Tensor(rng.standard_normal((2, 3)))
+        assert a.T.shape == (3, 2)

@@ -1,0 +1,221 @@
+"""Shared contract tests plus model-specific behaviour tests for baselines."""
+
+import numpy as np
+import pytest
+
+from repro import autograd as ag
+from repro import nn, optim
+from repro.baselines import BASELINE_NAMES, build_baseline
+from repro.baselines.dlinear import moving_average
+from repro.baselines.timesnet import dominant_periods
+
+LOOKBACK, HORIZON, ENTITIES = 48, 12, 5
+
+
+@pytest.fixture
+def window(rng):
+    return ag.Tensor(rng.standard_normal((3, LOOKBACK, ENTITIES)))
+
+
+def build(name, **kwargs):
+    nn.init.seed(0)
+    return build_baseline(name, LOOKBACK, HORIZON, ENTITIES, **kwargs)
+
+
+class TestSharedContract:
+    @pytest.mark.parametrize("name", BASELINE_NAMES)
+    def test_output_shape(self, name, window):
+        assert build(name)(window).shape == (3, HORIZON, ENTITIES)
+
+    @pytest.mark.parametrize("name", BASELINE_NAMES)
+    def test_all_parameters_receive_gradients(self, name, window):
+        model = build(name)
+        model(window).sum().backward()
+        dead = [n for n, p in model.named_parameters() if p.grad is None]
+        assert not dead, f"dead parameters in {name}: {dead}"
+
+    @pytest.mark.parametrize("name", BASELINE_NAMES)
+    def test_rejects_wrong_lookback(self, name, rng):
+        model = build(name)
+        with pytest.raises(ValueError, match="expected"):
+            model(ag.Tensor(rng.standard_normal((2, LOOKBACK + 1, ENTITIES))))
+
+    @pytest.mark.parametrize("name", BASELINE_NAMES)
+    def test_deterministic_in_eval_mode(self, name, window):
+        model = build(name)
+        model.eval()
+        a = model(window).data
+        b = model(window).data
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", BASELINE_NAMES)
+    def test_output_finite(self, name, window):
+        assert np.isfinite(build(name)(window).data).all()
+
+    def test_registry_normalizes_names(self):
+        assert type(build("graph_wavenet")).__name__ == "GraphWaveNet"
+        assert type(build("Patch-TST")).__name__ == "PatchTST"
+
+    def test_registry_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown baseline"):
+            build_baseline("nope", 8, 2, 2)
+
+
+class TestDLinear:
+    def test_moving_average_constant_series(self):
+        x = ag.Tensor(np.ones((1, 10, 2)) * 4.0)
+        out = moving_average(x, 5)
+        assert np.allclose(out.data, 4.0)
+
+    def test_moving_average_preserves_length(self, rng):
+        x = ag.Tensor(rng.standard_normal((2, 17, 3)))
+        assert moving_average(x, 6).shape == (2, 17, 3)
+
+    def test_moving_average_kernel_one_is_identity(self, rng):
+        x = ag.Tensor(rng.standard_normal((1, 8, 1)))
+        assert np.array_equal(moving_average(x, 1).data, x.data)
+
+    def test_moving_average_invalid_kernel(self, rng):
+        with pytest.raises(ValueError):
+            moving_average(ag.Tensor(rng.standard_normal((1, 8, 1))), 0)
+
+    def test_decomposition_sums_back(self, rng):
+        """trend + seasonal must reconstruct the input exactly."""
+        x = ag.Tensor(rng.standard_normal((1, 20, 2)))
+        trend = moving_average(x, 7)
+        seasonal = x - trend
+        assert np.allclose((trend + seasonal).data, x.data)
+
+    def test_learns_linear_trend_extrapolation(self, rng):
+        """DLinear should nail y = continuation of a straight line."""
+        model = build("DLinear")
+        optimizer = optim.Adam(model.parameters(), lr=1e-2)
+        slopes = rng.uniform(-1, 1, size=(64, 1, ENTITIES))
+        t = np.arange(LOOKBACK + HORIZON).reshape(1, -1, 1)
+        series = slopes * t
+        x, y = series[:, :LOOKBACK], series[:, LOOKBACK:]
+        for _ in range(150):
+            pred = model(ag.Tensor(x))
+            loss = ((pred - ag.Tensor(y)) ** 2.0).mean()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 0.05
+
+    def test_kernel_clipped_to_lookback(self):
+        model = build_baseline("DLinear", 10, 2, 1, kernel_size=99)
+        assert model.kernel_size == 10
+
+
+class TestPatchTST:
+    def test_patch_count(self):
+        model = build("PatchTST", patch_length=12)
+        assert model.n_patches == LOOKBACK // 12
+
+    def test_overlapping_patches(self, window):
+        model = build("PatchTST", patch_length=12, stride=6)
+        assert model.n_patches == (LOOKBACK - 12) // 6 + 1
+        assert model(window).shape == (3, HORIZON, ENTITIES)
+
+    def test_misaligned_patching_raises(self):
+        with pytest.raises(ValueError, match="align"):
+            build("PatchTST", patch_length=13)
+
+    def test_channel_independence(self, rng):
+        """Changing channel j must not change channel i's forecast."""
+        model = build("PatchTST")
+        model.eval()
+        x = rng.standard_normal((1, LOOKBACK, ENTITIES))
+        base = model(ag.Tensor(x)).data
+        x2 = x.copy()
+        x2[0, :, 3] += 5.0
+        out = model(ag.Tensor(x2)).data
+        assert np.allclose(base[0, :, 0], out[0, :, 0], atol=1e-10)
+        assert not np.allclose(base[0, :, 3], out[0, :, 3])
+
+    def test_revin_optional(self, window):
+        model = build("PatchTST", use_revin=False)
+        assert model.revin is None
+        assert model(window).shape == (3, HORIZON, ENTITIES)
+
+
+class TestCrossformer:
+    def test_entity_mixing(self, rng):
+        """Unlike PatchTST, Crossformer lets channel j influence channel i.
+
+        The perturbation must change channel 3's *shape* (not a constant
+        offset, which RevIN would normalize away entirely).
+        """
+        model = build("Crossformer")
+        model.eval()
+        x = rng.standard_normal((1, LOOKBACK, ENTITIES))
+        base = model(ag.Tensor(x)).data
+        x2 = x.copy()
+        x2[0, :, 3] = rng.standard_normal(LOOKBACK) * 3.0
+        out = model(ag.Tensor(x2)).data
+        assert not np.allclose(base[0, :, 0], out[0, :, 0])
+
+    def test_segment_divisibility_enforced(self):
+        with pytest.raises(ValueError, match="divisible"):
+            build_baseline("Crossformer", 50, 12, 3, segment_length=12)
+
+    def test_router_count_bounds_attention(self):
+        model = build("Crossformer", n_routers=2)
+        assert model.layers[0].router.shape == (2, model.d_model)
+
+
+class TestGraphModels:
+    @pytest.mark.parametrize("name", ["MTGNN", "GraphWavenet"])
+    def test_adaptive_adjacency_is_row_stochastic(self, name):
+        model = build(name)
+        adjacency = model.graph().data
+        assert adjacency.shape == (ENTITIES, ENTITIES)
+        assert np.allclose(adjacency.sum(axis=1), 1.0)
+        assert (adjacency >= 0).all()
+
+    @pytest.mark.parametrize("name", ["MTGNN", "GraphWavenet"])
+    def test_entity_mixing(self, name, rng):
+        model = build(name)
+        model.eval()
+        x = rng.standard_normal((1, LOOKBACK, ENTITIES))
+        base = model(ag.Tensor(x)).data
+        x2 = x.copy()
+        x2[0, :, 2] += 10.0
+        assert not np.allclose(base[0, :, 0], model(ag.Tensor(x2)).data[0, :, 0])
+
+
+class TestTimesNet:
+    def test_dominant_periods_finds_planted_period(self):
+        t = np.arange(96)
+        data = np.sin(2 * np.pi * t / 24.0)[None, :, None]
+        periods = dominant_periods(data, top_k=1, max_period=48)
+        assert periods[0] == 24
+
+    def test_dominant_periods_count_and_uniqueness(self, rng):
+        data = rng.standard_normal((2, 64, 3))
+        periods = dominant_periods(data, top_k=3, max_period=32)
+        assert len(periods) <= 3
+        assert len(set(periods)) == len(periods)
+
+    def test_handles_period_not_dividing_length(self, rng):
+        """Folding with a remainder tail must still reconstruct shape."""
+        model = build("TimesNet", top_k_periods=1)
+        x = ag.Tensor(rng.standard_normal((2, LOOKBACK, ENTITIES)))
+        assert model(x).shape == (2, HORIZON, ENTITIES)
+
+    def test_constant_input_degenerate_spectrum(self):
+        model = build("TimesNet")
+        x = ag.Tensor(np.ones((1, LOOKBACK, ENTITIES)))
+        assert np.isfinite(model(x).data).all()
+
+
+class TestLightCTS:
+    def test_parameter_budget_is_light(self):
+        """LightCTS should be much smaller than PatchTST (its selling point)."""
+        light = build("LightCTS")
+        heavy = build("PatchTST")
+        assert light.num_parameters() < heavy.num_parameters() / 5
+
+    def test_heads_divide_channels(self):
+        with pytest.raises(ValueError, match="divisible"):
+            build("LightCTS", channels=10, n_heads=4)

@@ -1,0 +1,229 @@
+"""Tests for the offline segment clustering phase (Sec. V / Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import (
+    ClusteringConfig,
+    SegmentClusterer,
+    composite_distance,
+    pearson_rows,
+)
+
+
+def motif_segments(rng, n_per_motif=40, p=8, noise=0.05):
+    """Segments drawn around three distinct motifs."""
+    grid = np.linspace(0, 2 * np.pi, p)
+    motifs = np.stack([np.sin(grid), np.cos(grid), np.linspace(-1, 1, p)])
+    segments = []
+    labels = []
+    for j, motif in enumerate(motifs):
+        block = motif + noise * rng.standard_normal((n_per_motif, p))
+        segments.append(block)
+        labels += [j] * n_per_motif
+    return np.concatenate(segments), np.array(labels)
+
+
+class TestPearsonRows:
+    def test_matches_numpy_corrcoef(self, rng):
+        seg = rng.standard_normal((5, 7))
+        pro = rng.standard_normal((3, 7))
+        out = pearson_rows(seg, pro)
+        for i in range(5):
+            for j in range(3):
+                expected = np.corrcoef(seg[i], pro[j])[0, 1]
+                assert out[i, j] == pytest.approx(expected, abs=1e-10)
+
+    def test_self_correlation_is_one(self, rng):
+        seg = rng.standard_normal((4, 6))
+        assert np.allclose(np.diag(pearson_rows(seg, seg)), 1.0)
+
+    def test_flat_segment_gets_zero(self, rng):
+        seg = np.vstack([np.ones(5), rng.standard_normal(5)])
+        out = pearson_rows(seg, rng.standard_normal((2, 5)))
+        assert np.allclose(out[0], 0.0)
+
+    def test_range_clipped(self, rng):
+        seg = rng.standard_normal((10, 4))
+        out = pearson_rows(seg, seg * 2.0 + 1.0)
+        assert out.max() <= 1.0 and out.min() >= -1.0
+
+
+class TestCompositeDistance:
+    def test_alpha_zero_is_squared_euclidean(self, rng):
+        seg = rng.standard_normal((6, 5))
+        pro = rng.standard_normal((3, 5))
+        out = composite_distance(seg, pro, alpha=0.0)
+        expected = ((seg[:, None, :] - pro[None, :, :]) ** 2).sum(-1)
+        assert np.allclose(out, expected, atol=1e-10)
+
+    def test_correlation_term_separates_example2(self):
+        """Paper Example 2: A={9,10,11}, B={7,10,13}, C={11,10,9}.
+
+        Euclidean distance ties B and C relative to A, but correlation
+        must prefer B (same trend) over C (opposite trend).
+        """
+        a = np.array([[9.0, 10.0, 11.0]])
+        b = np.array([7.0, 10.0, 13.0])
+        c = np.array([11.0, 10.0, 9.0])
+        prototypes = np.stack([b, c])
+        plain = composite_distance(a, prototypes, alpha=0.0)
+        assert plain[0, 0] == pytest.approx(plain[0, 1])  # the tie
+        composite = composite_distance(a, prototypes, alpha=1.0)
+        assert composite[0, 0] < composite[0, 1]  # B wins with correlation
+
+    def test_nonnegative_euclidean_part(self, rng):
+        seg = rng.standard_normal((4, 3))
+        assert (composite_distance(seg, seg, alpha=0.0) >= 0.0).all()
+
+
+class TestSegmentClusterer:
+    def test_recovers_planted_motifs(self, rng):
+        segments, truth = motif_segments(rng)
+        clusterer = SegmentClusterer(
+            ClusteringConfig(num_prototypes=3, segment_length=8, seed=0)
+        ).fit(segments)
+        labels = clusterer.assign(segments)
+        # Cluster labels are permutation-invariant: check purity.
+        purity = 0
+        for j in range(3):
+            members = truth[labels == j]
+            if len(members):
+                purity += np.bincount(members, minlength=3).max()
+        assert purity / len(truth) > 0.95
+
+    def test_prototypes_close_to_motifs(self, rng):
+        segments, _ = motif_segments(rng, noise=0.02)
+        clusterer = SegmentClusterer(
+            ClusteringConfig(num_prototypes=3, segment_length=8, seed=1)
+        ).fit(segments)
+        grid = np.linspace(0, 2 * np.pi, 8)
+        motifs = np.stack([np.sin(grid), np.cos(grid), np.linspace(-1, 1, 8)])
+        for motif in motifs:
+            distances = np.linalg.norm(clusterer.prototypes_ - motif, axis=1)
+            assert distances.min() < 0.25
+
+    def test_accepts_2d_timeseries_input(self, rng):
+        data = rng.standard_normal((120, 4))
+        clusterer = SegmentClusterer(
+            ClusteringConfig(num_prototypes=4, segment_length=10, seed=0)
+        ).fit(data)
+        assert clusterer.prototypes_.shape == (4, 10)
+
+    def test_deterministic_given_seed(self, rng):
+        segments, _ = motif_segments(rng)
+        cfg = ClusteringConfig(num_prototypes=3, segment_length=8, seed=5)
+        a = SegmentClusterer(cfg).fit(segments).prototypes_
+        b = SegmentClusterer(cfg).fit(segments).prototypes_
+        assert np.array_equal(a, b)
+
+    def test_assignment_matrix_is_one_hot(self, rng):
+        segments, _ = motif_segments(rng)
+        clusterer = SegmentClusterer(
+            ClusteringConfig(num_prototypes=3, segment_length=8, seed=0)
+        ).fit(segments)
+        matrix = clusterer.assignment_matrix(segments)
+        assert matrix.shape == (len(segments), 3)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert set(np.unique(matrix)) <= {0.0, 1.0}
+
+    def test_no_empty_buckets_after_fit(self, rng):
+        segments, _ = motif_segments(rng)
+        clusterer = SegmentClusterer(
+            ClusteringConfig(num_prototypes=8, segment_length=8, seed=0)
+        ).fit(segments)
+        labels = clusterer.assign(segments)
+        assert len(np.unique(labels)) == 8
+
+    def test_rec_only_mode_ignores_correlation(self, rng):
+        """With use_correlation=False the composite alpha must be zero."""
+        cfg = ClusteringConfig(num_prototypes=2, segment_length=4, alpha=0.9, use_correlation=False)
+        assert cfg.effective_alpha == 0.0
+        segments = rng.standard_normal((40, 4))
+        clusterer = SegmentClusterer(cfg).fit(segments)
+        labels = clusterer.assign(segments)
+        expected = composite_distance(segments, clusterer.prototypes_, 0.0).argmin(axis=1)
+        assert np.array_equal(labels, expected)
+
+    def test_correlation_objective_changes_prototypes(self, rng):
+        segments, _ = motif_segments(rng, noise=0.3)
+        base = ClusteringConfig(num_prototypes=3, segment_length=8, seed=0)
+        with_corr = SegmentClusterer(base).fit(segments).prototypes_
+        rec_only = SegmentClusterer(
+            ClusteringConfig(num_prototypes=3, segment_length=8, seed=0, use_correlation=False)
+        ).fit(segments).prototypes_
+        assert not np.allclose(with_corr, rec_only)
+
+    def test_inertia_decreases_with_more_prototypes(self, rng):
+        segments, _ = motif_segments(rng, noise=0.4)
+        inertias = []
+        for k in (1, 3, 8):
+            clusterer = SegmentClusterer(
+                ClusteringConfig(num_prototypes=k, segment_length=8, seed=0)
+            ).fit(segments)
+            inertias.append(clusterer.inertia(segments))
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_too_few_segments_raises(self, rng):
+        with pytest.raises(ValueError, match="at least"):
+            SegmentClusterer(
+                ClusteringConfig(num_prototypes=10, segment_length=4)
+            ).fit(rng.standard_normal((5, 4)))
+
+    def test_unfitted_raises(self, rng):
+        clusterer = SegmentClusterer(ClusteringConfig(num_prototypes=2, segment_length=4))
+        with pytest.raises(RuntimeError, match="not fitted"):
+            clusterer.assign(rng.standard_normal((3, 4)))
+
+    def test_kwargs_override_config(self):
+        clusterer = SegmentClusterer(num_prototypes=5, segment_length=6)
+        assert clusterer.config.num_prototypes == 5
+        merged = SegmentClusterer(ClusteringConfig(num_prototypes=2, segment_length=4), seed=9)
+        assert merged.config.seed == 9 and merged.config.num_prototypes == 2
+
+    def test_reconstruct_uses_prototypes(self, rng):
+        segments, _ = motif_segments(rng)
+        clusterer = SegmentClusterer(
+            ClusteringConfig(num_prototypes=3, segment_length=8, seed=0)
+        ).fit(segments)
+        approx = clusterer.reconstruct(segments)
+        labels = clusterer.assign(segments)
+        assert np.allclose(approx, clusterer.prototypes_[labels])
+
+    def test_reconstruct_match_moments(self, rng):
+        """Fig. 11: prototype copies restored to segment mean/std."""
+        segments, _ = motif_segments(rng)
+        scaled = segments * 3.0 + 10.0
+        clusterer = SegmentClusterer(
+            ClusteringConfig(num_prototypes=3, segment_length=8, seed=0)
+        ).fit(segments)
+        approx = clusterer.reconstruct(scaled, match_moments=True)
+        assert np.allclose(approx.mean(axis=1), scaled.mean(axis=1), atol=1e-9)
+        assert np.allclose(approx.std(axis=1), scaled.std(axis=1), atol=1e-9)
+
+    def test_refinement_reduces_loss(self, rng):
+        segments, _ = motif_segments(rng, noise=0.5)
+        clusterer = SegmentClusterer(
+            ClusteringConfig(num_prototypes=3, segment_length=8, seed=0, max_iters=12)
+        ).fit(segments)
+        history = clusterer.loss_history_
+        assert history[-1] < history[0]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=20, max_value=80),
+    k=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=10),
+)
+def test_property_every_segment_assigned_to_nearest(n, k, seed):
+    rng = np.random.default_rng(seed)
+    segments = rng.standard_normal((n, 6))
+    clusterer = SegmentClusterer(
+        ClusteringConfig(num_prototypes=k, segment_length=6, seed=seed, max_iters=8)
+    ).fit(segments)
+    labels = clusterer.assign(segments)
+    dists = composite_distance(segments, clusterer.prototypes_, clusterer.config.effective_alpha)
+    assert np.array_equal(labels, dists.argmin(axis=1))

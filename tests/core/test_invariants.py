@@ -1,0 +1,116 @@
+"""Property-based tests for FOCUS core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import autograd as ag
+from repro.core import FOCUSConfig, FOCUSForecaster
+from repro.core.clustering import composite_distance, pearson_rows
+from repro.core.protoattn import ProtoAttn
+
+finite = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    hnp.arrays(np.float64, (6, 5), elements=finite),
+    hnp.arrays(np.float64, (3, 5), elements=finite),
+    st.floats(min_value=0.0, max_value=2.0),
+)
+def test_composite_distance_nonnegative_and_bounded_extra(segments, prototypes, alpha):
+    dists = composite_distance(segments, prototypes, alpha)
+    assert dists.shape == (6, 3)
+    # Euclidean part >= 0 and correlation penalty in [0, 2*alpha]:
+    euclidean = composite_distance(segments, prototypes, 0.0)
+    assert (dists >= euclidean - 1e-9).all()
+    assert (dists <= euclidean + 2.0 * alpha + 1e-9).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(hnp.arrays(np.float64, (4, 6), elements=finite))
+def test_pearson_invariant_to_affine_transform(rows):
+    """corr(aX + b, Y) == corr(X, Y) for a > 0.
+
+    Near-constant rows are excluded: pearson_rows deliberately returns 0
+    below a variance cutoff, and scaling can move a row across it.
+    """
+    assume(np.all(rows.std(axis=1) > 1e-3))
+    other = np.roll(rows, 1, axis=0)
+    base = pearson_rows(rows, other)
+    scaled = pearson_rows(3.0 * rows + 7.0, other)
+    assert np.allclose(base, scaled, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(hnp.arrays(np.float64, (5, 4), elements=finite))
+def test_pearson_antisymmetry_under_negation(rows):
+    other = np.roll(rows, 2, axis=0)
+    assert np.allclose(
+        pearson_rows(rows, other), -pearson_rows(-rows, other), atol=1e-8
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=50),
+    temperature=st.floats(min_value=0.1, max_value=5.0),
+)
+def test_assignment_weights_always_distribution(seed, temperature):
+    rng = np.random.default_rng(seed)
+    layer = ProtoAttn(
+        rng.standard_normal((4, 6)), d_model=8, assignment="soft", temperature=temperature
+    )
+    weights = layer.assignment_weights(rng.standard_normal((2, 5, 6)))
+    assert np.allclose(weights.sum(axis=-1), 1.0)
+    assert (weights >= 0).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=30))
+def test_protoattn_output_in_value_span(seed):
+    """ProtoAttn output rows are convex combinations routed through A, so
+    each output equals one prototype-context row — bounded by the extreme
+    values of the context matrix."""
+    rng = np.random.default_rng(seed)
+    layer = ProtoAttn(rng.standard_normal((3, 4)), d_model=6)
+    segments = ag.Tensor(rng.standard_normal((1, 7, 4)))
+    out = layer(segments).data
+    values = layer.w_v(segments).data[0]
+    assert out.max() <= values.max() + 1e-9
+    assert out.min() >= values.min() - 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=20))
+def test_focus_forecast_finite_for_finite_input(seed):
+    rng = np.random.default_rng(seed)
+    config = FOCUSConfig(
+        lookback=24, horizon=6, num_entities=2, segment_length=6,
+        num_prototypes=3, d_model=8, num_readout=2,
+    )
+    model = FOCUSForecaster(config, prototypes=rng.standard_normal((3, 6)))
+    x = ag.Tensor(5.0 * rng.standard_normal((2, 24, 2)))
+    assert np.isfinite(model(x).data).all()
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=20))
+def test_focus_batch_consistency(seed):
+    """Forecasting a batch equals forecasting each window separately."""
+    rng = np.random.default_rng(seed)
+    config = FOCUSConfig(
+        lookback=24, horizon=6, num_entities=2, segment_length=6,
+        num_prototypes=3, d_model=8, num_readout=2,
+    )
+    model = FOCUSForecaster(config, prototypes=rng.standard_normal((3, 6)))
+    model.eval()
+    windows = rng.standard_normal((3, 24, 2))
+    with ag.no_grad():
+        batched = model(ag.Tensor(windows)).data
+        singles = np.concatenate(
+            [model(ag.Tensor(windows[i : i + 1])).data for i in range(3)]
+        )
+    assert np.allclose(batched, singles, atol=1e-10)

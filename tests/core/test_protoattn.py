@@ -1,0 +1,112 @@
+"""Tests for ProtoAttn (Sec. VI / Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro import autograd as ag
+from repro.core.protoattn import ProtoAttn
+
+
+def make_layer(rng, k=4, p=6, d=8, alpha=0.2):
+    return ProtoAttn(rng.standard_normal((k, p)), d_model=d, alpha=alpha)
+
+
+class TestForward:
+    def test_output_shape(self, rng):
+        layer = make_layer(rng)
+        out = layer(ag.Tensor(rng.standard_normal((3, 10, 6))))
+        assert out.shape == (3, 10, 8)
+
+    def test_rejects_wrong_segment_length(self, rng):
+        layer = make_layer(rng, p=6)
+        with pytest.raises(ValueError, match="p=6"):
+            layer(ag.Tensor(rng.standard_normal((2, 5, 7))))
+
+    def test_rejects_wrong_rank(self, rng):
+        layer = make_layer(rng)
+        with pytest.raises(ValueError):
+            layer(ag.Tensor(rng.standard_normal((5, 6))))
+
+    def test_assignment_is_nearest_prototype(self, rng):
+        layer = make_layer(rng, alpha=0.0)
+        # Feed the prototypes themselves (plus tiny noise): each segment
+        # must be assigned to its own prototype.
+        segments = layer.prototypes[None] + 1e-9
+        layer(ag.Tensor(segments))
+        assert np.array_equal(layer.last_assignment_[0], np.arange(4))
+
+    def test_shared_prototype_shares_output(self, rng):
+        """Eq. (19): segments assigned to the same prototype get identical
+        attention output rows."""
+        layer = make_layer(rng, k=2, p=4)
+        proto = layer.prototypes
+        # Two copies of prototype 0's neighborhood and one of prototype 1.
+        segments = np.stack([proto[0], proto[0] + 1e-9, proto[1]])[None]
+        out = layer(ag.Tensor(segments)).data
+        assert layer.last_assignment_[0].tolist() == [0, 0, 1]
+        assert np.allclose(out[0, 0], out[0, 1])
+        assert not np.allclose(out[0, 0], out[0, 2])
+
+    def test_attention_rows_normalized(self, rng):
+        layer = make_layer(rng)
+        layer(ag.Tensor(rng.standard_normal((2, 12, 6))))
+        assert layer.last_attention_.shape == (2, 4, 12)
+        assert np.allclose(layer.last_attention_.sum(axis=-1), 1.0)
+
+    def test_gradients_flow_to_projections(self, rng):
+        layer = make_layer(rng)
+        x = ag.Tensor(rng.standard_normal((2, 7, 6)), requires_grad=True)
+        layer(x).sum().backward()
+        assert layer.w_e.weight.grad is not None
+        assert layer.w_k.weight.grad is not None
+        assert layer.w_v.weight.grad is not None
+        assert x.grad is not None
+
+    def test_gradcheck_through_layer(self, rng):
+        layer = make_layer(rng, k=3, p=4, d=5)
+        x = ag.Tensor(rng.standard_normal((1, 5, 4)), requires_grad=True)
+        # Hard assignment is piecewise-constant, so as long as no segment
+        # sits on a decision boundary the layer is differentiable in x.
+        ag.gradcheck(lambda t: layer(t), [x], atol=1e-4)
+
+    def test_prototypes_buffer_in_state_dict(self, rng):
+        layer = make_layer(rng)
+        state = layer.state_dict()
+        assert "prototypes__buffer" in state
+        clone = ProtoAttn(np.zeros((4, 6)), d_model=8)
+        clone.load_state_dict(state)
+        assert np.allclose(clone.prototypes, layer.prototypes)
+
+    def test_rejects_bad_prototypes(self):
+        with pytest.raises(ValueError, match="k, p"):
+            ProtoAttn(np.zeros(5), d_model=4)
+
+
+class TestLinearComplexity:
+    def test_attention_size_independent_of_length(self, rng):
+        """The attention matrix is (k, l): growing l grows it linearly,
+        while full self-attention would grow quadratically."""
+        layer = make_layer(rng, k=4)
+        for length in (8, 32):
+            layer(ag.Tensor(rng.standard_normal((1, length, 6))))
+            assert layer.last_attention_.shape == (1, 4, length)
+
+
+class TestDependencyMatrix:
+    def test_shape_and_rows(self, rng):
+        layer = make_layer(rng)
+        layer(ag.Tensor(rng.standard_normal((2, 9, 6))))
+        dep = layer.dependency_matrix()
+        assert dep.shape == (2, 9, 9)
+        assert np.allclose(dep.sum(axis=-1), 1.0)
+
+    def test_matches_manual_gather(self, rng):
+        layer = make_layer(rng)
+        layer(ag.Tensor(rng.standard_normal((1, 6, 6))))
+        dep = layer.dependency_matrix()
+        for i, label in enumerate(layer.last_assignment_[0]):
+            assert np.allclose(dep[0, i], layer.last_attention_[0, label])
+
+    def test_requires_forward_first(self, rng):
+        with pytest.raises(RuntimeError, match="forward"):
+            make_layer(rng).dependency_matrix()

@@ -1,0 +1,111 @@
+"""Tests for clustering hyperparameter selection and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusteringConfig, SegmentClusterer
+from repro.core.selection import (
+    SelectionResult,
+    select_num_prototypes,
+    silhouette_score,
+    sweep_clustering,
+)
+
+
+def planted_segments(rng, n_motifs=4, per_motif=40, p=10, noise=0.05):
+    grid = np.linspace(0, 2 * np.pi, p)
+    motifs = [np.sin(grid * (i + 1) / 2 + i) for i in range(n_motifs)]
+    return np.concatenate(
+        [m + noise * rng.standard_normal((per_motif, p)) for m in motifs]
+    )
+
+
+class TestSilhouette:
+    def test_high_for_well_separated_clusters(self, rng):
+        segments = planted_segments(rng, noise=0.02)
+        clusterer = SegmentClusterer(
+            ClusteringConfig(num_prototypes=4, segment_length=10, seed=0)
+        ).fit(segments)
+        assert silhouette_score(segments, clusterer) > 0.5
+
+    def test_low_for_structureless_data(self, rng):
+        segments = rng.standard_normal((150, 10))
+        clusterer = SegmentClusterer(
+            ClusteringConfig(num_prototypes=4, segment_length=10, seed=0)
+        ).fit(segments)
+        assert silhouette_score(segments, clusterer) < 0.4
+
+    def test_sampling_is_deterministic(self, rng):
+        segments = planted_segments(rng)
+        clusterer = SegmentClusterer(
+            ClusteringConfig(num_prototypes=4, segment_length=10, seed=0)
+        ).fit(segments)
+        a = silhouette_score(segments, clusterer, sample=50, seed=1)
+        b = silhouette_score(segments, clusterer, sample=50, seed=1)
+        assert a == b
+
+    def test_bounded(self, rng):
+        segments = rng.standard_normal((80, 10))
+        clusterer = SegmentClusterer(
+            ClusteringConfig(num_prototypes=3, segment_length=10, seed=0)
+        ).fit(segments)
+        score = silhouette_score(segments, clusterer)
+        assert -1.0 <= score <= 1.0
+
+
+class TestSweep:
+    def test_grid_covered(self, rng):
+        data = rng.standard_normal((240, 2))
+        results = sweep_clustering(data, [2, 4], [6, 12], seed=0)
+        assert len(results) == 4
+        assert {(r.num_prototypes, r.segment_length) for r in results} == {
+            (2, 6), (4, 6), (2, 12), (4, 12),
+        }
+        assert all(isinstance(r, SelectionResult) for r in results)
+
+    def test_inertia_decreases_in_k(self, rng):
+        segments = planted_segments(rng, noise=0.3)
+        results = sweep_clustering(segments.reshape(-1, 1), [2, 8], [10], seed=0)
+        by_k = {r.num_prototypes: r.inertia for r in results}
+        assert by_k[8] < by_k[2]
+
+
+class TestSelectNumPrototypes:
+    def test_finds_planted_count(self, rng):
+        segments = planted_segments(rng, n_motifs=4, noise=0.03)
+        series = segments.reshape(-1)
+        chosen = select_num_prototypes(series, 10, candidates=(2, 4, 8, 16), seed=0)
+        assert chosen == 4
+
+    def test_single_candidate(self, rng):
+        assert select_num_prototypes(rng.standard_normal(100), 5, candidates=(3,)) == 3
+
+
+class TestClustererPersistence:
+    def test_roundtrip(self, rng, tmp_path):
+        segments = planted_segments(rng)
+        clusterer = SegmentClusterer(
+            ClusteringConfig(num_prototypes=4, segment_length=10, alpha=0.3, seed=2)
+        ).fit(segments)
+        path = str(tmp_path / "clusterer.npz")
+        clusterer.save(path)
+        restored = SegmentClusterer.load(path)
+        assert np.allclose(restored.prototypes_, clusterer.prototypes_)
+        assert restored.config == clusterer.config
+        assert np.array_equal(restored.assign(segments), clusterer.assign(segments))
+
+    def test_save_unfitted_raises(self, tmp_path):
+        clusterer = SegmentClusterer(ClusteringConfig(num_prototypes=2, segment_length=4))
+        with pytest.raises(RuntimeError, match="not fitted"):
+            clusterer.save(str(tmp_path / "x.npz"))
+
+    def test_loss_history_preserved(self, rng, tmp_path):
+        segments = planted_segments(rng)
+        clusterer = SegmentClusterer(
+            ClusteringConfig(num_prototypes=3, segment_length=10, seed=0)
+        ).fit(segments)
+        path = str(tmp_path / "c.npz")
+        clusterer.save(path)
+        restored = SegmentClusterer.load(path)
+        assert restored.loss_history_ == pytest.approx(clusterer.loss_history_)
+        assert restored.n_iter_ == clusterer.n_iter_

@@ -1,0 +1,105 @@
+"""Tests for the soft-assignment extension of ProtoAttn."""
+
+import numpy as np
+import pytest
+
+from repro import autograd as ag
+from repro.core import FOCUSConfig, FOCUSForecaster
+from repro.core.protoattn import ProtoAttn
+
+
+class TestAssignmentWeights:
+    def test_hard_is_one_hot(self, rng):
+        layer = ProtoAttn(rng.standard_normal((4, 6)), d_model=8)
+        weights = layer.assignment_weights(rng.standard_normal((3, 5, 6)))
+        assert weights.shape == (3, 5, 4)
+        assert np.allclose(weights.sum(axis=-1), 1.0)
+        assert set(np.unique(weights)) <= {0.0, 1.0}
+
+    def test_soft_is_distribution(self, rng):
+        layer = ProtoAttn(
+            rng.standard_normal((4, 6)), d_model=8, assignment="soft", temperature=1.0
+        )
+        weights = layer.assignment_weights(rng.standard_normal((3, 5, 6)))
+        assert np.allclose(weights.sum(axis=-1), 1.0)
+        assert (weights > 0).all()
+
+    def test_soft_approaches_hard_at_low_temperature(self, rng):
+        prototypes = rng.standard_normal((4, 6))
+        segments = rng.standard_normal((2, 7, 6))
+        hard = ProtoAttn(prototypes, 8).assignment_weights(segments)
+        cold = ProtoAttn(
+            prototypes, 8, assignment="soft", temperature=1e-3
+        ).assignment_weights(segments)
+        assert np.allclose(hard, cold, atol=1e-6)
+
+    def test_higher_temperature_is_softer(self, rng):
+        prototypes = rng.standard_normal((4, 6))
+        segments = rng.standard_normal((2, 7, 6))
+        warm = ProtoAttn(prototypes, 8, assignment="soft", temperature=0.5)
+        hot = ProtoAttn(prototypes, 8, assignment="soft", temperature=5.0)
+
+        def mean_entropy(layer):
+            weights = layer.assignment_weights(segments)
+            return -(weights * np.log(weights + 1e-12)).sum(-1).mean()
+
+        assert mean_entropy(hot) > mean_entropy(warm)
+
+    def test_invalid_mode_and_temperature(self, rng):
+        with pytest.raises(ValueError, match="assignment"):
+            ProtoAttn(rng.standard_normal((2, 4)), 8, assignment="fuzzy")
+        with pytest.raises(ValueError, match="temperature"):
+            ProtoAttn(rng.standard_normal((2, 4)), 8, temperature=0.0)
+
+
+class TestSoftFOCUS:
+    def _config(self, **kwargs):
+        return FOCUSConfig(
+            lookback=24, horizon=6, num_entities=3, segment_length=6,
+            num_prototypes=4, d_model=8, num_readout=2, **kwargs,
+        )
+
+    def test_soft_model_forward(self, rng):
+        model = FOCUSForecaster(
+            self._config(assignment="soft", assignment_temperature=0.5),
+            prototypes=rng.standard_normal((4, 6)),
+        )
+        out = model(ag.Tensor(rng.standard_normal((2, 24, 3))))
+        assert out.shape == (2, 6, 3)
+
+    def test_soft_and_hard_outputs_differ(self, rng):
+        prototypes = rng.standard_normal((4, 6))
+        from repro import nn
+
+        nn.init.seed(0)
+        hard = FOCUSForecaster(self._config(), prototypes=prototypes)
+        nn.init.seed(0)
+        soft = FOCUSForecaster(
+            self._config(assignment="soft", assignment_temperature=2.0),
+            prototypes=prototypes,
+        )
+        x = ag.Tensor(rng.standard_normal((1, 24, 3)))
+        assert not np.allclose(hard(x).data, soft(x).data)
+
+    def test_soft_model_trains(self, rng):
+        from repro import optim
+
+        model = FOCUSForecaster(
+            self._config(assignment="soft"), prototypes=rng.standard_normal((4, 6))
+        )
+        optimizer = optim.AdamW(model.parameters(), lr=3e-3)
+        x = rng.standard_normal((8, 24, 3))
+        y = x[:, -6:, :]
+        losses = []
+        for _ in range(15):
+            pred = model(ag.Tensor(x))
+            loss = ((pred - ag.Tensor(y)) ** 2.0).mean()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+    def test_config_validates_assignment(self):
+        with pytest.raises(ValueError):
+            FOCUSForecaster(self._config(assignment="fuzzy"), prototypes=np.zeros((4, 6)))

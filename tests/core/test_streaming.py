@@ -1,0 +1,118 @@
+"""Tests for the streaming FOCUS wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core import FOCUSConfig, FOCUSForecaster
+from repro.core.streaming import StreamingFOCUS
+
+
+def make_model(rng, lookback=24, horizon=6, entities=3, p=6, k=4):
+    config = FOCUSConfig(
+        lookback=lookback, horizon=horizon, num_entities=entities,
+        segment_length=p, num_prototypes=k, d_model=8, num_readout=2,
+    )
+    return FOCUSForecaster(config, prototypes=rng.standard_normal((k, p)))
+
+
+class TestBuffering:
+    def test_not_ready_until_lookback_filled(self, rng):
+        stream = StreamingFOCUS(make_model(rng))
+        for _ in range(23):
+            stream.observe(rng.standard_normal(3))
+        assert not stream.ready
+        with pytest.raises(RuntimeError, match="need 24"):
+            stream.forecast()
+        stream.observe(rng.standard_normal(3))
+        assert stream.ready
+
+    def test_forecast_shape(self, rng):
+        stream = StreamingFOCUS(make_model(rng))
+        stream.observe_many(rng.standard_normal((30, 3)))
+        forecast = stream.forecast()
+        assert forecast.shape == (6, 3)
+        assert stream.stats.forecasts == 1
+
+    def test_buffer_holds_latest_window(self, rng):
+        model = make_model(rng)
+        stream = StreamingFOCUS(model)
+        data = rng.standard_normal((40, 3))
+        stream.observe_many(data)
+        assert np.allclose(stream._buffer, data[-24:])
+
+    def test_matches_batch_forecast(self, rng):
+        """Streaming forecast equals calling the model on the same window."""
+        from repro import autograd as ag
+
+        model = make_model(rng)
+        stream = StreamingFOCUS(model)
+        data = rng.standard_normal((30, 3))
+        stream.observe_many(data)
+        streamed = stream.forecast()
+        with ag.no_grad():
+            direct = model(ag.Tensor(data[-24:][None])).data[0]
+        assert np.allclose(streamed, direct)
+
+    def test_wrong_observation_shape(self, rng):
+        stream = StreamingFOCUS(make_model(rng))
+        with pytest.raises(ValueError, match="observation"):
+            stream.observe(np.zeros(5))
+
+    def test_observation_counter(self, rng):
+        stream = StreamingFOCUS(make_model(rng))
+        stream.observe_many(rng.standard_normal((10, 3)))
+        assert stream.stats.observations == 10
+
+
+class TestAdaptation:
+    def test_disabled_by_default(self, rng):
+        model = make_model(rng)
+        before = model.extractor.temporal_mixer.prototypes.copy()
+        stream = StreamingFOCUS(model)
+        stream.observe_many(100.0 * rng.standard_normal((60, 3)))
+        assert np.allclose(model.extractor.temporal_mixer.prototypes, before)
+
+    def test_novel_segments_trigger_updates(self, rng):
+        model = make_model(rng)
+        stream = StreamingFOCUS(
+            model, adapt_prototypes=True, novelty_threshold=2.0, ema=0.2
+        )
+        # Familiar data first to establish the distance baseline...
+        calm = 0.01 * rng.standard_normal((48, 3))
+        stream.observe_many(calm)
+        before = model.extractor.temporal_mixer.prototypes.copy()
+        # ...then a wild regime: segments far from every prototype.
+        stream.observe_many(50.0 + 10.0 * rng.standard_normal((24, 3)))
+        assert stream.stats.novel_segments > 0
+        assert stream.stats.prototype_updates > 0
+        assert not np.allclose(model.extractor.temporal_mixer.prototypes, before)
+
+    def test_ema_zero_counts_but_does_not_move(self, rng):
+        model = make_model(rng)
+        stream = StreamingFOCUS(
+            model, adapt_prototypes=True, novelty_threshold=2.0, ema=0.0
+        )
+        stream.observe_many(0.01 * rng.standard_normal((48, 3)))
+        before = model.extractor.temporal_mixer.prototypes.copy()
+        stream.observe_many(50.0 + 10.0 * rng.standard_normal((24, 3)))
+        assert stream.stats.novel_segments > 0
+        assert stream.stats.prototype_updates == 0
+        assert np.allclose(model.extractor.temporal_mixer.prototypes, before)
+
+    def test_both_mixers_share_updated_prototypes(self, rng):
+        model = make_model(rng)
+        stream = StreamingFOCUS(
+            model, adapt_prototypes=True, novelty_threshold=2.0, ema=0.3
+        )
+        stream.observe_many(0.01 * rng.standard_normal((48, 3)))
+        stream.observe_many(50.0 + 10.0 * rng.standard_normal((24, 3)))
+        assert np.allclose(
+            model.extractor.temporal_mixer.prototypes,
+            model.extractor.entity_mixer.prototypes,
+        )
+
+    def test_parameter_validation(self, rng):
+        with pytest.raises(ValueError, match="novelty_threshold"):
+            StreamingFOCUS(make_model(rng), novelty_threshold=1.0)
+        with pytest.raises(ValueError, match="ema"):
+            StreamingFOCUS(make_model(rng), ema=1.0)

@@ -1,0 +1,96 @@
+"""Empirical checks of Theorem 1 (low-rank ProtoAttn approximation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.theory import (
+    cluster_factorization,
+    jl_prototype_count,
+    make_low_rank_segments,
+    measure_approximation,
+)
+
+
+class TestLowRankConstruction:
+    def test_rank_bounded(self):
+        matrix = make_low_rank_segments(50, 12, rank=4, seed=0)
+        assert np.linalg.matrix_rank(matrix, tol=1e-8) <= 4
+
+    def test_noise_raises_rank(self):
+        noisy = make_low_rank_segments(50, 12, rank=4, seed=0, noise=0.1)
+        assert np.linalg.matrix_rank(noisy, tol=1e-8) > 4
+
+    def test_deterministic(self):
+        a = make_low_rank_segments(20, 8, 3, seed=1)
+        b = make_low_rank_segments(20, 8, 3, seed=1)
+        assert np.array_equal(a, b)
+
+
+class TestClusterFactorization:
+    def test_factor_shapes(self):
+        segments = make_low_rank_segments(40, 10, 3, seed=0)
+        assignment, prototypes = cluster_factorization(segments, 5, seed=0)
+        assert assignment.shape == (40, 5)
+        assert prototypes.shape == (5, 10)
+        assert np.allclose(assignment.sum(axis=1), 1.0)
+
+    def test_exact_when_k_equals_distinct_rows(self):
+        """If rows take exactly k distinct values, A C reconstructs P
+        (up to refinement tolerance)."""
+        base = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        segments = base[np.array([0, 1, 0, 1, 0, 1] * 4)]
+        assignment, prototypes = cluster_factorization(segments, 2, seed=0)
+        approx = assignment @ prototypes
+        assert np.abs(approx - segments).max() < 0.05
+
+
+class TestTheorem1:
+    def test_error_small_when_k_geq_rank(self):
+        """With k >= r and concentrated rows, the relative error is small
+        — the low-rank regime the theorem targets."""
+        report = measure_approximation(
+            n_segments=120, segment_length=16, rank=4, num_prototypes=8, seed=0
+        )
+        assert report.mean_error < 0.25
+
+    def test_error_decreases_with_k(self):
+        errors = [
+            measure_approximation(100, 16, 6, k, seed=0).mean_error
+            for k in (2, 6, 16)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_error_independent_of_sequence_length(self):
+        """Theorem 1's k depends on r, not l: growing l with fixed (r, k)
+        should not blow up the error."""
+        short = measure_approximation(60, 16, 4, 8, seed=0).mean_error
+        long = measure_approximation(480, 16, 4, 8, seed=0).mean_error
+        assert long < short * 2.0 + 0.05
+
+    def test_quantile_tracks_high_probability_claim(self):
+        report = measure_approximation(150, 16, 3, 12, seed=1)
+        # 95th percentile should stay comfortably below 1 (the trivial bound)
+        assert report.quantile95 < 0.5
+
+
+class TestJLCount:
+    def test_formula(self):
+        # k = 5 log r / (eps^2 - eps^3)
+        assert jl_prototype_count(100, 0.5) == int(
+            np.ceil(5 * np.log(100) / (0.25 - 0.125))
+        )
+
+    def test_monotone_in_rank(self):
+        assert jl_prototype_count(1000, 0.3) > jl_prototype_count(10, 0.3)
+
+    def test_monotone_in_epsilon(self):
+        assert jl_prototype_count(100, 0.1) > jl_prototype_count(100, 0.5)
+
+    def test_trivial_rank(self):
+        assert jl_prototype_count(1, 0.5) == 1
+
+    def test_epsilon_validated(self):
+        with pytest.raises(ValueError):
+            jl_prototype_count(10, 0.0)
+        with pytest.raises(ValueError):
+            jl_prototype_count(10, 1.0)

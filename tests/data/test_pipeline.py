@@ -1,0 +1,242 @@
+"""Tests for scaler, splits, windows, loader, outliers, and segments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DataLoader,
+    SlidingWindowDataset,
+    StandardScaler,
+    inject_outliers,
+    merge_segments,
+    segment_series,
+    split_series,
+)
+from repro.data.segments import segment_window
+
+
+class TestStandardScaler:
+    def test_fit_transform_standardizes(self, rng):
+        x = rng.standard_normal((200, 4)) * 5 + 3
+        out = StandardScaler().fit_transform(x)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-12)
+
+    def test_inverse_roundtrip(self, rng):
+        x = rng.standard_normal((100, 3)) * 2 - 7
+        scaler = StandardScaler().fit(x)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+    def test_constant_channel_handled(self):
+        x = np.ones((50, 2))
+        x[:, 1] = np.arange(50)
+        out = StandardScaler().fit_transform(x)
+        assert np.isfinite(out).all()
+        assert np.allclose(out[:, 0], 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            StandardScaler().transform(np.ones((3, 2)))
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError, match="T, N"):
+            StandardScaler().fit(np.ones(5))
+
+
+class TestSplitSeries:
+    def test_622_split(self):
+        data = np.arange(100).reshape(100, 1)
+        train, val, test = split_series(data, (6, 2, 2))
+        assert len(train) == 60 and len(val) == 20 and len(test) == 20
+        assert train[-1, 0] + 1 == val[0, 0]  # chronological, contiguous
+
+    def test_712_split(self):
+        train, val, test = split_series(np.zeros((100, 2)), (7, 1, 2))
+        assert (len(train), len(val), len(test)) == (70, 10, 20)
+
+    def test_rounding_preserves_total(self):
+        train, val, test = split_series(np.zeros((101, 1)), (6, 2, 2))
+        assert len(train) + len(val) + len(test) == 101
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            split_series(np.zeros((10, 1)), (0, 0, 0))
+        with pytest.raises(ValueError):
+            split_series(np.zeros((10, 1)), (-1, 1, 1))
+
+
+class TestSlidingWindowDataset:
+    def test_window_contents(self):
+        data = np.arange(20, dtype=float).reshape(20, 1)
+        ds = SlidingWindowDataset(data, lookback=4, horizon=2)
+        x, y = ds[0]
+        assert x[:, 0].tolist() == [0, 1, 2, 3]
+        assert y[:, 0].tolist() == [4, 5]
+        x, y = ds[3]
+        assert x[0, 0] == 3.0 and y[-1, 0] == 8.0
+
+    def test_len_formula(self):
+        ds = SlidingWindowDataset(np.zeros((20, 1)), 4, 2)
+        assert len(ds) == 20 - 4 - 2 + 1
+
+    def test_stride(self):
+        ds = SlidingWindowDataset(np.zeros((21, 1)), 4, 2, stride=3)
+        assert len(ds) == (21 - 6) // 3 + 1
+
+    def test_negative_index(self):
+        data = np.arange(10, dtype=float).reshape(10, 1)
+        ds = SlidingWindowDataset(data, 3, 2)
+        x_last, _ = ds[-1]
+        x_alt, _ = ds[len(ds) - 1]
+        assert np.array_equal(x_last, x_alt)
+
+    def test_out_of_range(self):
+        ds = SlidingWindowDataset(np.zeros((10, 1)), 3, 2)
+        with pytest.raises(IndexError):
+            ds[len(ds)]
+
+    def test_too_short_series_raises(self):
+        with pytest.raises(ValueError, match="too short"):
+            SlidingWindowDataset(np.zeros((5, 1)), 4, 2)
+
+    def test_batch_gather(self):
+        data = np.arange(30, dtype=float).reshape(30, 1)
+        ds = SlidingWindowDataset(data, 4, 2)
+        xs, ys = ds.batch(np.array([0, 5]))
+        assert xs.shape == (2, 4, 1) and ys.shape == (2, 2, 1)
+        assert xs[1, 0, 0] == 5.0
+
+
+class TestDataLoader:
+    def _dataset(self, n=50):
+        return SlidingWindowDataset(np.arange(n, dtype=float).reshape(n, 1), 4, 2)
+
+    def test_covers_all_windows(self):
+        ds = self._dataset()
+        loader = DataLoader(ds, batch_size=8)
+        seen = sum(x.shape[0] for x, _ in loader)
+        assert seen == len(ds)
+
+    def test_drop_last(self):
+        ds = self._dataset()
+        loader = DataLoader(ds, batch_size=8, drop_last=True)
+        sizes = [x.shape[0] for x, _ in loader]
+        assert all(s == 8 for s in sizes)
+        assert len(loader) == len(ds) // 8
+
+    def test_shuffle_changes_order_but_not_content(self):
+        ds = self._dataset()
+        plain = np.concatenate([x[:, 0, 0] for x, _ in DataLoader(ds, 8)])
+        shuffled = np.concatenate([x[:, 0, 0] for x, _ in DataLoader(ds, 8, shuffle=True, seed=1)])
+        assert not np.array_equal(plain, shuffled)
+        assert np.array_equal(np.sort(plain), np.sort(shuffled))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(self._dataset(), 0)
+
+
+class TestOutliers:
+    def test_ratio_respected(self, rng):
+        data = rng.standard_normal((200, 5))
+        _, mask = inject_outliers(data, 0.08, seed=0)
+        assert mask.mean() == pytest.approx(0.08, abs=0.001)
+
+    def test_zero_ratio_is_identity(self, rng):
+        data = rng.standard_normal((50, 3))
+        out, mask = inject_outliers(data, 0.0)
+        assert np.array_equal(out, data)
+        assert not mask.any()
+
+    def test_outliers_exceed_three_sigma(self, rng):
+        data = rng.standard_normal((500, 2))
+        out, mask = inject_outliers(data, 0.05, seed=1)
+        deviation = np.abs(out - data.mean(axis=0)) / data.std(axis=0)
+        assert (deviation[mask] >= 3.0).all()
+
+    def test_untouched_points_unchanged(self, rng):
+        data = rng.standard_normal((100, 2))
+        out, mask = inject_outliers(data, 0.1, seed=2)
+        assert np.array_equal(out[~mask], data[~mask])
+
+    def test_original_not_mutated(self, rng):
+        data = rng.standard_normal((100, 2))
+        snapshot = data.copy()
+        inject_outliers(data, 0.2, seed=0)
+        assert np.array_equal(data, snapshot)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            inject_outliers(np.zeros((5, 1)), 1.5)
+
+
+class TestSegments:
+    def test_1d_segmentation(self):
+        out = segment_series(np.arange(10, dtype=float), 3)
+        assert out.shape == (3, 3)
+        assert out[1].tolist() == [3, 4, 5]
+
+    def test_2d_groups_by_entity(self):
+        data = np.stack([np.arange(6.0), np.arange(6.0) + 100], axis=1)
+        out = segment_series(data, 3)
+        assert out.shape == (4, 3)
+        assert out[0].tolist() == [0, 1, 2]  # entity 0 first
+        assert out[2].tolist() == [100, 101, 102]
+
+    def test_merge_roundtrip_multientity(self, rng):
+        data = rng.standard_normal((24, 3))
+        segs = segment_series(data, 4)
+        assert np.allclose(merge_segments(segs, 3), data)
+
+    def test_merge_roundtrip_1d(self, rng):
+        series = rng.standard_normal(20)
+        assert np.allclose(merge_segments(segment_series(series, 5)), series)
+
+    def test_remainder_dropped(self):
+        out = segment_series(np.arange(10, dtype=float), 4)
+        assert out.shape == (2, 4)
+
+    def test_strict_mode_raises_on_remainder(self):
+        with pytest.raises(ValueError, match="divisible"):
+            segment_series(np.arange(10, dtype=float), 4, drop_remainder=False)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError, match="shorter"):
+            segment_series(np.arange(3, dtype=float), 5)
+
+    def test_segment_window_layout(self, rng):
+        window = rng.standard_normal((12, 3))
+        out = segment_window(window, 4)
+        assert out.shape == (3, 3, 4)
+        assert np.allclose(out[1, 0], window[:4, 1])
+
+    def test_segment_window_requires_divisibility(self, rng):
+        with pytest.raises(ValueError, match="divisible"):
+            segment_window(rng.standard_normal((10, 2)), 4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    length=st.integers(min_value=10, max_value=200),
+    p=st.integers(min_value=1, max_value=9),
+)
+def test_property_segment_count(length, p):
+    series = np.arange(length, dtype=float)
+    segs = segment_series(series, p)
+    assert segs.shape == (length // p, p)
+    assert np.allclose(merge_segments(segs), series[: (length // p) * p])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    total=st.integers(min_value=30, max_value=300),
+    lookback=st.integers(min_value=1, max_value=12),
+    horizon=st.integers(min_value=1, max_value=12),
+)
+def test_property_window_count(total, lookback, horizon):
+    ds = SlidingWindowDataset(np.zeros((total, 2)), lookback, horizon)
+    assert len(ds) == total - lookback - horizon + 1
+    x, y = ds[len(ds) - 1]
+    assert x.shape == (lookback, 2) and y.shape == (horizon, 2)

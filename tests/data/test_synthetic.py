@@ -1,0 +1,136 @@
+"""Tests for dataset presets and synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro import data
+from repro.data.presets import DATASETS, get_spec
+from repro.data.synthetic import generate, generate_domain
+
+
+class TestPresets:
+    def test_all_seven_paper_datasets_present(self):
+        assert set(DATASETS) == {
+            "PEMS04",
+            "PEMS08",
+            "ETTh1",
+            "ETTm1",
+            "Traffic",
+            "Electricity",
+            "Weather",
+        }
+
+    def test_paper_scale_matches_table2(self):
+        spec = get_spec("PEMS04")
+        assert spec.dims("paper") == (16992, 307)
+        assert get_spec("Electricity").dims("paper") == (26304, 321)
+        assert get_spec("ETTm1").dims("paper") == (57600, 7)
+
+    def test_split_ratios_match_table2(self):
+        assert get_spec("ETTh1").split == (6, 2, 2)
+        assert get_spec("Weather").split == (7, 1, 2)
+
+    def test_case_insensitive_lookup(self):
+        assert get_spec("pems08").name == "PEMS08"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_spec("nope")
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            get_spec("ETTh1").dims("huge")
+
+    def test_frequencies_match_table2(self):
+        # 5 min -> 288/day, 15 min -> 96/day, 1 h -> 24/day, 10 min -> 144/day
+        assert get_spec("PEMS04").steps_per_day == 288
+        assert get_spec("ETTm1").steps_per_day == 96
+        assert get_spec("Traffic").steps_per_day == 24
+        assert get_spec("Weather").steps_per_day == 144
+
+
+class TestGenerate:
+    def test_shape_matches_spec(self):
+        out = generate("PEMS08", scale="smoke", seed=0)
+        spec = get_spec("PEMS08")
+        assert out.shape == spec.dims("smoke")
+
+    def test_deterministic_per_seed(self):
+        a = generate("ETTh1", seed=3)
+        b = generate("ETTh1", seed=3)
+        c = generate("ETTh1", seed=4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_override_dimensions(self):
+        out = generate("ETTh1", length=500, num_entities=3, seed=0)
+        assert out.shape == (500, 3)
+
+    def test_finite_values(self):
+        for name in DATASETS:
+            out = generate(name, seed=0, length=400, num_entities=4)
+            assert np.isfinite(out).all(), name
+
+    def test_positive_domains_are_positive(self):
+        for name in ["PEMS08", "Electricity", "Traffic"]:
+            out = generate(name, seed=0, length=600, num_entities=5)
+            assert out.min() > 0.0, name
+
+    def test_daily_seasonality_present(self):
+        """Autocorrelation at one-day lag should dominate a random lag."""
+        spec = get_spec("ETTh1")
+        out = generate("ETTh1", seed=0, length=24 * 60, num_entities=4)
+        series = out[:, 0] - out[:, 0].mean()
+        def autocorr(lag):
+            return np.corrcoef(series[:-lag], series[lag:])[0, 1]
+        assert autocorr(spec.steps_per_day) > autocorr(7) + 0.1
+
+    def test_weekly_modulation_for_traffic(self):
+        out = generate_domain("traffic", 288 * 14, 3, 288, seed=0, noise_scale=0.0)
+        daily_mean = out[:, 0].reshape(14, 288).mean(axis=1)
+        weekdays = daily_mean[[0, 1, 2, 3, 4, 7, 8, 9, 10, 11]]
+        weekends = daily_mean[[5, 6, 12, 13]]
+        assert weekdays.mean() > weekends.mean()
+
+    def test_entities_are_cross_correlated(self):
+        out = generate_domain("traffic", 288 * 6, 8, 288, seed=0, mixing_strength=1.0)
+        corr = np.corrcoef(out.T)
+        off_diag = corr[~np.eye(8, dtype=bool)]
+        assert off_diag.mean() > 0.2
+
+    def test_recurring_motifs_across_days(self):
+        """Same entity, different weekdays: strongly correlated daily shape."""
+        out = generate_domain("traffic", 288 * 9, 2, 288, seed=0, noise_scale=0.02, drift_scale=0.05)
+        day0 = out[:288, 0]
+        day1 = out[288 * 7 : 288 * 8, 0]  # same weekday a week later
+        assert np.corrcoef(day0, day1)[0, 1] > 0.8
+
+
+class TestLoadDataset:
+    def test_splits_are_chronological_and_sized(self):
+        fd = data.load_dataset("ETTh1", seed=0)
+        total = len(fd.train) + len(fd.val) + len(fd.test)
+        assert total == fd.raw.shape[0]
+        # 6:2:2 ratios approximately
+        assert len(fd.train) / total == pytest.approx(0.6, abs=0.01)
+
+    def test_normalization_uses_train_stats_only(self):
+        fd = data.load_dataset("ETTh1", seed=0)
+        assert np.allclose(fd.train.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(fd.train.std(axis=0), 1.0, atol=1e-10)
+        # val/test generally NOT exactly standardized (different stats)
+        assert not np.allclose(fd.test.mean(axis=0), 0.0, atol=1e-3)
+
+    def test_windows_helper(self):
+        fd = data.load_dataset("ETTh1", seed=0)
+        ds = fd.windows("val", lookback=48, horizon=24)
+        x, y = ds[0]
+        assert x.shape == (48, fd.num_entities)
+        assert y.shape == (24, fd.num_entities)
+
+    def test_raw_override_for_outlier_study(self):
+        fd = data.load_dataset("ETTh1", seed=0)
+        corrupted, _ = data.inject_outliers(fd.raw, 0.1, seed=1)
+        fd2 = data.load_dataset("ETTh1", seed=0, raw_override=corrupted)
+        assert fd2.raw.shape == fd.raw.shape
+        assert not np.array_equal(fd2.train, fd.train)

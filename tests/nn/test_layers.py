@@ -1,0 +1,300 @@
+"""Tests for individual layers: forward semantics and gradient flow."""
+
+import numpy as np
+import pytest
+
+from repro import autograd as ag
+from repro import nn
+from repro.nn.conv import conv1d
+
+
+class TestLinear:
+    def test_matches_manual_affine(self, rng):
+        lin = nn.Linear(4, 3)
+        x = rng.standard_normal((5, 4))
+        expected = x @ lin.weight.data.T + lin.bias.data
+        assert np.allclose(lin(ag.Tensor(x)).data, expected)
+
+    def test_leading_batch_dims(self, rng):
+        lin = nn.Linear(4, 3)
+        x = ag.Tensor(rng.standard_normal((2, 6, 4)))
+        assert lin(x).shape == (2, 6, 3)
+
+    def test_no_bias(self, rng):
+        lin = nn.Linear(4, 3, bias=False)
+        assert lin.bias is None
+        assert len(lin.parameters()) == 1
+
+    def test_gradcheck(self, rng):
+        lin = nn.Linear(3, 2)
+        x = ag.Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        ag.gradcheck(lambda t: lin(t), [x])
+
+
+class TestLayerNorm:
+    def test_output_standardized(self, rng):
+        ln = nn.LayerNorm(8)
+        out = ln(ag.Tensor(rng.standard_normal((4, 8)) * 5 + 3)).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-8)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_multi_axis_normalized_shape(self, rng):
+        ln = nn.LayerNorm((3, 4))
+        out = ln(ag.Tensor(rng.standard_normal((2, 3, 4)))).data
+        assert np.allclose(out.reshape(2, -1).mean(axis=1), 0.0, atol=1e-8)
+
+    def test_gradcheck(self, rng):
+        ln = nn.LayerNorm(5)
+        x = ag.Tensor(rng.standard_normal((3, 5)), requires_grad=True)
+        ag.gradcheck(lambda t: ln(t), [x])
+
+    def test_affine_params_receive_grad(self, rng):
+        ln = nn.LayerNorm(5)
+        ln(ag.Tensor(rng.standard_normal((3, 5)), requires_grad=True)).sum().backward()
+        assert ln.weight.grad is not None and ln.bias.grad is not None
+
+
+class TestBatchNorm1d:
+    def test_training_normalizes_batch(self, rng):
+        bn = nn.BatchNorm1d(4)
+        out = bn(ag.Tensor(rng.standard_normal((64, 4)) * 3 + 1)).data
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-8)
+        assert np.allclose(out.var(axis=0), 1.0, atol=1e-3)
+
+    def test_running_stats_converge(self, rng):
+        bn = nn.BatchNorm1d(2)
+        for _ in range(200):
+            bn(ag.Tensor(rng.standard_normal((32, 2)) * 2.0 + 5.0))
+        assert np.allclose(bn.running_mean, 5.0, atol=0.3)
+        assert np.allclose(bn.running_var, 4.0, atol=0.8)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm1d(2)
+        bn(ag.Tensor(rng.standard_normal((32, 2))))
+        bn.eval()
+        x = rng.standard_normal((4, 2))
+        out = bn(ag.Tensor(x)).data
+        expected = (x - bn.running_mean) / np.sqrt(bn.running_var + bn.eps)
+        assert np.allclose(out, expected * bn.weight.data + bn.bias.data)
+
+    def test_3d_input(self, rng):
+        bn = nn.BatchNorm1d(4)
+        assert bn(ag.Tensor(rng.standard_normal((8, 4, 10)))).shape == (8, 4, 10)
+
+    def test_rejects_bad_rank(self, rng):
+        with pytest.raises(ValueError, match="expects"):
+            nn.BatchNorm1d(4)(ag.Tensor(rng.standard_normal(4)))
+
+
+class TestRevIN:
+    def test_normalize_standardizes_each_series(self, rng):
+        rev = nn.RevIN(3, affine=False)
+        x = ag.Tensor(rng.standard_normal((2, 40, 3)) * 7 + 2)
+        out = rev.normalize(x).data
+        assert np.allclose(out.mean(axis=1), 0.0, atol=1e-8)
+        assert np.allclose(out.std(axis=1), 1.0, atol=1e-2)
+
+    @pytest.mark.parametrize("affine", [False, True])
+    def test_roundtrip(self, affine, rng):
+        rev = nn.RevIN(3, affine=affine)
+        x = ag.Tensor(rng.standard_normal((2, 24, 3)) * 4 - 9)
+        back = rev.denormalize(rev.normalize(x))
+        assert np.allclose(back.data, x.data, atol=1e-5)
+
+    def test_forward_mode_dispatch(self, rng):
+        rev = nn.RevIN(2, affine=False)
+        x = ag.Tensor(rng.standard_normal((1, 10, 2)))
+        normed = rev(x, mode="norm")
+        assert np.allclose(rev(normed, mode="denorm").data, x.data, atol=1e-5)
+        with pytest.raises(ValueError, match="mode"):
+            rev(x, mode="bogus")
+
+    def test_denormalize_before_normalize_raises(self, rng):
+        rev = nn.RevIN(2)
+        with pytest.raises(RuntimeError, match="before"):
+            rev.denormalize(ag.Tensor(rng.standard_normal((1, 5, 2))))
+
+    def test_rejects_bad_rank(self, rng):
+        with pytest.raises(ValueError, match="B, L, N"):
+            nn.RevIN(2).normalize(ag.Tensor(rng.standard_normal((5, 2))))
+
+
+class TestDropout:
+    def test_eval_is_identity(self, rng):
+        drop = nn.Dropout(0.5)
+        drop.eval()
+        x = ag.Tensor(rng.standard_normal((10, 10)))
+        assert np.array_equal(drop(x).data, x.data)
+
+    def test_p_zero_is_identity_in_train(self, rng):
+        drop = nn.Dropout(0.0)
+        x = ag.Tensor(rng.standard_normal((10, 10)))
+        assert np.array_equal(drop(x).data, x.data)
+
+    def test_training_zeroes_roughly_p_fraction(self):
+        nn.init.seed(0)
+        drop = nn.Dropout(0.3)
+        out = drop(ag.ones((100, 100))).data
+        zero_fraction = (out == 0.0).mean()
+        assert 0.25 < zero_fraction < 0.35
+
+    def test_inverted_scaling_preserves_mean(self):
+        nn.init.seed(0)
+        drop = nn.Dropout(0.4)
+        out = drop(ag.ones((200, 200))).data
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+        with pytest.raises(ValueError):
+            nn.Dropout(-0.1)
+
+
+class TestEmbedding:
+    def test_lookup_matches_weight_rows(self):
+        emb = nn.Embedding(6, 3)
+        out = emb(np.array([0, 5, 2]))
+        assert np.allclose(out.data, emb.weight.data[[0, 5, 2]])
+
+    def test_2d_indices(self):
+        emb = nn.Embedding(6, 3)
+        assert emb(np.array([[0, 1], [2, 3]])).shape == (2, 2, 3)
+
+    def test_out_of_range_raises(self):
+        emb = nn.Embedding(4, 2)
+        with pytest.raises(IndexError):
+            emb(np.array([4]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_accumulates_on_repeated_indices(self):
+        emb = nn.Embedding(4, 2)
+        emb(np.array([1, 1, 1])).sum().backward()
+        assert np.allclose(emb.weight.grad[1], [3.0, 3.0])
+        assert np.allclose(emb.weight.grad[0], [0.0, 0.0])
+
+
+class TestConv1d:
+    def test_matches_manual_correlation(self, rng):
+        conv = nn.Conv1d(1, 1, 3, bias=False)
+        x = rng.standard_normal((1, 1, 6))
+        out = conv(ag.Tensor(x)).data
+        kernel = conv.weight.data[0, 0]
+        expected = np.correlate(x[0, 0], kernel, mode="valid")
+        assert np.allclose(out[0, 0], expected)
+
+    @pytest.mark.parametrize("stride,padding,dilation", [(1, 0, 1), (2, 1, 1), (1, 2, 2), (3, 0, 1)])
+    def test_output_length_formula(self, stride, padding, dilation, rng):
+        conv = nn.Conv1d(2, 4, 3, stride=stride, padding=padding, dilation=dilation)
+        length = 20
+        out = conv(ag.Tensor(rng.standard_normal((2, 2, length))))
+        span = (3 - 1) * dilation + 1
+        expected_len = (length + 2 * padding - span) // stride + 1
+        assert out.shape == (2, 4, expected_len)
+
+    def test_causal_preserves_length_and_causality(self, rng):
+        conv = nn.Conv1d(1, 1, 3, causal=True, bias=False)
+        x = rng.standard_normal((1, 1, 12))
+        base = conv(ag.Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 0, 6:] += 100.0  # future change
+        out2 = conv(ag.Tensor(x2)).data
+        assert np.allclose(base[0, 0, :6], out2[0, 0, :6])
+        assert base.shape[-1] == 12
+
+    def test_gradcheck_full_options(self, rng):
+        x = ag.Tensor(rng.standard_normal((2, 3, 11)), requires_grad=True)
+        w = ag.Tensor(rng.standard_normal((4, 3, 3)), requires_grad=True)
+        b = ag.Tensor(rng.standard_normal(4), requires_grad=True)
+        ag.gradcheck(
+            lambda x, w, b: conv1d(x, w, b, stride=2, padding=2, dilation=2), [x, w, b]
+        )
+
+    def test_gradcheck_asymmetric_padding(self, rng):
+        x = ag.Tensor(rng.standard_normal((1, 2, 8)), requires_grad=True)
+        w = ag.Tensor(rng.standard_normal((3, 2, 3)), requires_grad=True)
+        ag.gradcheck(lambda x, w: conv1d(x, w, padding=(2, 0)), [x, w])
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="channel mismatch"):
+            conv1d(
+                ag.Tensor(rng.standard_normal((1, 3, 8))),
+                ag.Tensor(rng.standard_normal((2, 4, 3))),
+            )
+
+    def test_too_short_input_raises(self, rng):
+        with pytest.raises(ValueError, match="shorter"):
+            conv1d(
+                ag.Tensor(rng.standard_normal((1, 1, 2))),
+                ag.Tensor(rng.standard_normal((1, 1, 5))),
+            )
+
+
+class TestAttention:
+    def test_shapes(self, rng):
+        mha = nn.MultiHeadAttention(16, 4)
+        x = ag.Tensor(rng.standard_normal((2, 9, 16)))
+        assert mha(x).shape == (2, 9, 16)
+
+    def test_cross_attention_shapes(self, rng):
+        mha = nn.MultiHeadAttention(16, 2)
+        q = ag.Tensor(rng.standard_normal((2, 5, 16)))
+        kv = ag.Tensor(rng.standard_normal((2, 9, 16)))
+        assert mha(q, kv).shape == (2, 5, 16)
+
+    def test_attention_weights_are_distribution(self, rng):
+        q = ag.Tensor(rng.standard_normal((2, 4, 8)))
+        k = ag.Tensor(rng.standard_normal((2, 6, 8)))
+        v = ag.Tensor(rng.standard_normal((2, 6, 8)))
+        _, weights = nn.scaled_dot_product_attention(q, k, v)
+        assert weights.shape == (2, 4, 6)
+        assert np.allclose(weights.data.sum(axis=-1), 1.0)
+
+    def test_additive_mask_blocks_positions(self, rng):
+        q = ag.Tensor(rng.standard_normal((1, 3, 8)))
+        k = ag.Tensor(rng.standard_normal((1, 3, 8)))
+        v = ag.Tensor(rng.standard_normal((1, 3, 8)))
+        mask = np.triu(np.full((3, 3), -np.inf), k=1)
+        _, weights = nn.scaled_dot_product_attention(q, k, v, mask=mask)
+        assert np.allclose(np.triu(weights.data[0], k=1), 0.0)
+
+    def test_heads_must_divide(self):
+        with pytest.raises(ValueError, match="divisible"):
+            nn.MultiHeadAttention(10, 3)
+
+    def test_gradients_flow_to_all_projections(self, rng):
+        mha = nn.MultiHeadAttention(8, 2)
+        x = ag.Tensor(rng.standard_normal((2, 4, 8)), requires_grad=True)
+        mha(x).sum().backward()
+        for name, param in mha.named_parameters():
+            assert param.grad is not None, name
+
+    def test_permutation_equivariance_without_mask(self, rng):
+        """Self-attention outputs permute together with the inputs."""
+        mha = nn.MultiHeadAttention(8, 2)
+        mha.eval()
+        x = rng.standard_normal((1, 5, 8))
+        perm = np.array([3, 1, 4, 0, 2])
+        out = mha(ag.Tensor(x)).data
+        out_perm = mha(ag.Tensor(x[:, perm])).data
+        assert np.allclose(out[:, perm], out_perm, atol=1e-10)
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "module,fn",
+        [
+            (nn.ReLU(), lambda x: np.maximum(x, 0.0)),
+            (nn.Tanh(), np.tanh),
+            (nn.Identity(), lambda x: x),
+        ],
+    )
+    def test_module_matches_numpy(self, module, fn, rng):
+        x = rng.standard_normal((4, 4))
+        assert np.allclose(module(ag.Tensor(x)).data, fn(x))
+
+    def test_gelu_sigmoid_run(self, rng):
+        x = ag.Tensor(rng.standard_normal((3, 3)))
+        assert nn.GELU()(x).shape == (3, 3)
+        assert np.all((nn.Sigmoid()(x).data > 0) & (nn.Sigmoid()(x).data < 1))

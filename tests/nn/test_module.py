@@ -1,0 +1,165 @@
+"""Tests for Module/Parameter registration and serialization."""
+
+import numpy as np
+import pytest
+
+from repro import autograd as ag
+from repro import nn
+
+
+class TinyNet(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 8)
+        self.fc2 = nn.Linear(8, 2)
+        self.act = nn.ReLU()
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x)))
+
+
+class TestRegistration:
+    def test_parameters_discovered_recursively(self):
+        net = TinyNet()
+        names = [name for name, _ in net.named_parameters()]
+        assert names == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+    def test_num_parameters(self):
+        net = TinyNet()
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_plain_attributes_not_registered(self):
+        net = TinyNet()
+        net.some_config = 42
+        assert "some_config" not in dict(net.named_parameters())
+
+    def test_reassigning_parameter_with_non_parameter_unregisters(self):
+        net = TinyNet()
+        net.fc1.weight = "gone"
+        assert "weight" not in net.fc1._parameters
+
+    def test_named_modules(self):
+        net = TinyNet()
+        names = [name for name, _ in net.named_modules()]
+        assert names == ["", "fc1", "fc2", "act"]
+
+    def test_add_module(self):
+        net = TinyNet()
+        net.add_module("extra", nn.Linear(2, 2))
+        assert "extra.weight" in dict(net.named_parameters())
+
+
+class TestTrainEval:
+    def test_train_eval_propagates(self):
+        net = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        net.eval()
+        assert not net.training
+        assert not net[1].training
+        net.train()
+        assert net[1].training
+
+    def test_zero_grad_clears_all(self):
+        net = TinyNet()
+        out = net(ag.randn(3, 4, rng=np.random.default_rng(0)))
+        out.sum().backward()
+        assert net.fc1.weight.grad is not None
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        net = TinyNet()
+        clone = TinyNet()
+        clone.load_state_dict(net.state_dict())
+        x = ag.Tensor(rng.standard_normal((5, 4)))
+        assert np.allclose(net(x).data, clone(x).data)
+
+    def test_missing_key_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        del state["fc1.weight"]
+        with pytest.raises(KeyError, match="missing parameter"):
+            TinyNet().load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError, match="unexpected"):
+            TinyNet().load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            TinyNet().load_state_dict(state)
+
+    def test_state_dict_is_a_copy(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"][...] = 99.0
+        assert not np.any(net.fc1.weight.data == 99.0)
+
+    def test_save_load_file(self, tmp_path, rng):
+        net = TinyNet()
+        path = str(tmp_path / "model.npz")
+        net.save(path)
+        clone = TinyNet()
+        clone.load(path)
+        x = ag.Tensor(rng.standard_normal((2, 4)))
+        assert np.allclose(net(x).data, clone(x).data)
+
+    def test_buffers_serialized(self):
+        bn = nn.BatchNorm1d(3)
+        bn(ag.randn(16, 3, rng=np.random.default_rng(0)))
+        state = bn.state_dict()
+        assert "running_mean__buffer" in state
+        fresh = nn.BatchNorm1d(3)
+        fresh.load_state_dict(state)
+        assert np.allclose(fresh.running_mean, bn.running_mean)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self, rng):
+        lin = nn.Linear(3, 3)
+        seq = nn.Sequential(lin, nn.ReLU())
+        x = ag.Tensor(rng.standard_normal((4, 3)))
+        assert np.allclose(seq(x).data, np.maximum(lin(x).data, 0.0))
+
+    def test_sequential_len_getitem(self):
+        seq = nn.Sequential(nn.Linear(2, 2), nn.Tanh())
+        assert len(seq) == 2
+        assert isinstance(seq[1], nn.Tanh)
+
+    def test_modulelist_registration_and_iteration(self):
+        layers = nn.ModuleList([nn.Linear(2, 2) for _ in range(3)])
+        assert len(layers) == 3
+        assert len(list(layers)) == 3
+        assert len(dict(layers.named_parameters())) == 6
+        assert isinstance(layers[-1], nn.Linear)
+
+    def test_modulelist_not_callable(self):
+        with pytest.raises(RuntimeError, match="container"):
+            nn.ModuleList([nn.Linear(2, 2)])(None)
+
+
+class TestInit:
+    def test_seed_reproducible(self):
+        nn.init.seed(7)
+        a = nn.Linear(10, 10).weight.data.copy()
+        nn.init.seed(7)
+        b = nn.Linear(10, 10).weight.data.copy()
+        assert np.array_equal(a, b)
+
+    def test_xavier_bound(self):
+        nn.init.seed(0)
+        w = nn.init.xavier_uniform((50, 30))
+        bound = np.sqrt(6.0 / 80.0)
+        assert np.abs(w).max() <= bound
+
+    def test_kaiming_uses_fan_in(self):
+        nn.init.seed(0)
+        w = nn.init.kaiming_uniform((10, 1000))
+        assert np.abs(w).max() < 0.1  # bound ~ sqrt(3/fan_in)/sqrt(3) scale

@@ -1,0 +1,37 @@
+"""Smoke tests for module / tensor string representations."""
+
+import numpy as np
+
+from repro import autograd as ag
+from repro import nn
+from repro.core import FOCUSConfig, FOCUSForecaster
+
+
+class TestReprs:
+    def test_tensor_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(ag.tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(ag.tensor([1.0]))
+
+    def test_linear_repr(self):
+        assert "in=3" in repr(nn.Linear(3, 5)) and "out=5" in repr(nn.Linear(3, 5))
+
+    def test_sequential_repr_nests_children(self):
+        seq = nn.Sequential(nn.Linear(2, 2), nn.ReLU())
+        text = repr(seq)
+        assert "Linear" in text and "ReLU" in text
+
+    def test_focus_repr_mentions_hyperparameters(self):
+        config = FOCUSConfig(
+            lookback=24, horizon=6, num_entities=2, segment_length=6,
+            num_prototypes=3, d_model=8, num_readout=2,
+        )
+        model = FOCUSForecaster(config, prototypes=np.zeros((3, 6)))
+        text = repr(model)
+        assert "k=3" in text and "mixer=proto" in text
+
+    def test_profile_report_str(self):
+        from repro.profiling import profile_model
+
+        report = profile_model(nn.Linear(4, 4), (1, 4))
+        text = str(report)
+        assert "FLOPs" in text and "params" in text

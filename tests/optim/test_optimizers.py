@@ -1,0 +1,171 @@
+"""Tests for SGD / Adam / AdamW, gradient clipping, and schedulers."""
+
+import numpy as np
+import pytest
+
+from repro import autograd as ag
+from repro import nn, optim
+
+
+def quadratic_param(start=5.0):
+    return ag.tensor([start], requires_grad=True)
+
+
+def quadratic_step(p, opt):
+    loss = (p * p).sum()
+    opt.zero_grad()
+    loss.backward()
+    opt.step()
+    return loss.item()
+
+
+class TestSGD:
+    def test_single_step_matches_formula(self):
+        p = quadratic_param(2.0)
+        opt = optim.SGD([p], lr=0.1)
+        quadratic_step(p, opt)  # grad = 2p = 4 -> p = 2 - 0.4
+        assert p.data[0] == pytest.approx(1.6)
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = optim.SGD([p], lr=0.1)
+        for _ in range(100):
+            quadratic_step(p, opt)
+        assert abs(p.data[0]) < 1e-6
+
+    def test_momentum_accelerates(self):
+        plain, heavy = quadratic_param(), quadratic_param()
+        opt_plain = optim.SGD([plain], lr=0.01)
+        opt_heavy = optim.SGD([heavy], lr=0.01, momentum=0.9)
+        for _ in range(30):
+            quadratic_step(plain, opt_plain)
+            quadratic_step(heavy, opt_heavy)
+        assert abs(heavy.data[0]) < abs(plain.data[0])
+
+    def test_skips_parameters_without_grad(self):
+        p, q = quadratic_param(), quadratic_param()
+        opt = optim.SGD([p, q], lr=0.1)
+        loss = (p * p).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        assert q.data[0] == 5.0
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # With bias correction the very first Adam step is ~lr * sign(grad).
+        p = quadratic_param(1.0)
+        opt = optim.Adam([p], lr=0.1)
+        quadratic_step(p, opt)
+        assert p.data[0] == pytest.approx(0.9, abs=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = optim.Adam([p], lr=0.2)
+        for _ in range(200):
+            quadratic_step(p, opt)
+        assert abs(p.data[0]) < 1e-3
+
+    def test_l2_weight_decay_enters_gradient(self):
+        p = ag.tensor([1.0], requires_grad=True)
+        opt = optim.Adam([p], lr=0.1, weight_decay=1.0)
+        loss = (p * 0.0).sum()  # zero data gradient
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        # decay-only gradient still moves the weight down
+        assert p.data[0] < 1.0
+
+
+class TestAdamW:
+    def test_decay_is_decoupled(self):
+        # With zero gradient AdamW still shrinks weights by lr*wd*w exactly.
+        p = ag.tensor([1.0], requires_grad=True)
+        opt = optim.AdamW([p], lr=0.1, weight_decay=0.5)
+        loss = (p * 0.0).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_trains_mlp_to_low_loss(self, rng):
+        nn.init.seed(0)
+        model = nn.Sequential(nn.Linear(3, 16), nn.GELU(), nn.Linear(16, 1))
+        opt = optim.AdamW(model.parameters(), lr=1e-2, weight_decay=1e-4)
+        x = rng.standard_normal((64, 3))
+        y = x @ np.array([[1.0], [-2.0], [0.5]]) + 0.3
+        loss_value = np.inf
+        for _ in range(400):
+            pred = model(ag.Tensor(x))
+            loss = ((pred - ag.Tensor(y)) ** 2.0).mean()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            loss_value = loss.item()
+        assert loss_value < 1e-2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="no parameters"):
+            optim.AdamW([], lr=0.1)
+        with pytest.raises(ValueError, match="learning rate"):
+            optim.AdamW([quadratic_param()], lr=0.0)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = ag.tensor([1.0], requires_grad=True)
+        (p * 3.0).sum().backward()
+        norm = optim.clip_grad_norm([p], max_norm=10.0)
+        assert norm == pytest.approx(3.0)
+        assert p.grad[0] == pytest.approx(3.0)
+
+    def test_clips_to_max_norm(self, rng):
+        params = [ag.Tensor(rng.standard_normal(4), requires_grad=True) for _ in range(3)]
+        loss = sum((p * p).sum() for p in params)
+        loss.backward()
+        optim.clip_grad_norm(params, max_norm=1.0)
+        total = np.sqrt(sum(float((p.grad**2).sum()) for p in params))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_ignores_none_grads(self):
+        p = ag.tensor([1.0], requires_grad=True)
+        assert optim.clip_grad_norm([p], 1.0) == 0.0
+
+
+class TestSchedulers:
+    def test_constant(self):
+        p = quadratic_param()
+        opt = optim.SGD([p], lr=0.5)
+        sched = optim.ConstantLR(opt)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == 0.5
+
+    def test_step_lr(self):
+        opt = optim.SGD([quadratic_param()], lr=1.0)
+        sched = optim.StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_endpoints(self):
+        opt = optim.SGD([quadratic_param()], lr=1.0)
+        sched = optim.CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.5)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = optim.SGD([quadratic_param()], lr=1.0)
+        sched = optim.CosineAnnealingLR(opt, t_max=20)
+        previous = opt.lr
+        for _ in range(20):
+            sched.step()
+            assert opt.lr <= previous + 1e-12
+            previous = opt.lr

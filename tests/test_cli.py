@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(
+            action
+            for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+        )
+        assert set(sub.choices) == {"datasets", "cluster", "run", "profile", "compare"}
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "PEMS08" in out and "Weather" in out
+        assert "6:2:2" in out
+
+    def test_cluster(self, capsys, tmp_path):
+        path = str(tmp_path / "protos.npz")
+        code = main(
+            ["cluster", "--dataset", "ETTh1", "-k", "3", "-p", "8", "--save", path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 prototypes" in out
+        assert "inertia" in out
+        from repro.core.clustering import SegmentClusterer
+
+        restored = SegmentClusterer.load(path)
+        assert restored.prototypes_.shape == (3, 8)
+
+    def test_profile(self, capsys):
+        assert main(["profile", "--model", "DLinear", "--lookback", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "FLOPs" in out and "params" in out
+
+    def test_profile_focus_runs_offline_phase(self, capsys):
+        assert main(["profile", "--model", "FOCUS", "--lookback", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "proto_assignment" in out
+
+    def test_run_small(self, capsys):
+        code = main(
+            [
+                "run",
+                "--model",
+                "DLinear",
+                "--dataset",
+                "ETTh1",
+                "--lookback",
+                "48",
+                "--horizon",
+                "12",
+                "--epochs",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mse" in out and "DLinear" in out
+
+    def test_compare_small(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                "ETTh1",
+                "--models",
+                "DLinear",
+                "--lookback",
+                "48",
+                "--horizon",
+                "12",
+                "--epochs",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "comparison" in capsys.readouterr().out

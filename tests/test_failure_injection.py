@@ -1,0 +1,120 @@
+"""Failure-injection tests: how the system behaves on degenerate inputs."""
+
+import numpy as np
+import pytest
+
+from repro import autograd as ag
+from repro import nn
+from repro.core import ClusteringConfig, FOCUSConfig, FOCUSForecaster, SegmentClusterer
+from repro.core.clustering import composite_distance, pearson_rows
+from repro.data import StandardScaler, load_dataset
+from repro.training import Trainer, TrainerConfig
+
+
+class TestDegenerateData:
+    def test_clustering_on_constant_series(self):
+        """All-identical segments must not crash (zero variance, ties)."""
+        data = np.ones((200, 2))
+        clusterer = SegmentClusterer(
+            ClusteringConfig(num_prototypes=3, segment_length=10, seed=0, max_iters=5)
+        ).fit(data)
+        labels = clusterer.assign(data)
+        assert np.isfinite(clusterer.prototypes_).all()
+        assert labels.shape == (40,)
+
+    def test_pearson_on_constant_rows_is_zero(self):
+        flat = np.ones((3, 5))
+        wavy = np.sin(np.arange(15)).reshape(3, 5)
+        assert np.allclose(pearson_rows(flat, wavy), 0.0)
+
+    def test_composite_distance_identical_points(self):
+        points = np.ones((4, 6))
+        dists = composite_distance(points, points[:2], alpha=0.5)
+        # Euclidean part 0, correlation part alpha*(1-0)=0.5 for flat rows.
+        assert np.allclose(dists, 0.5)
+
+    def test_scaler_constant_channel_inverse(self):
+        data = np.column_stack([np.ones(50), np.arange(50.0)])
+        scaler = StandardScaler().fit(data)
+        restored = scaler.inverse_transform(scaler.transform(data))
+        assert np.allclose(restored, data)
+
+    def test_model_on_constant_window(self, rng):
+        config = FOCUSConfig(
+            lookback=24, horizon=6, num_entities=2, segment_length=6,
+            num_prototypes=3, d_model=8, num_readout=2,
+        )
+        model = FOCUSForecaster(config, prototypes=rng.standard_normal((3, 6)))
+        out = model(ag.Tensor(np.ones((1, 24, 2))))
+        assert np.isfinite(out.data).all()
+
+    def test_model_on_extreme_magnitudes(self, rng):
+        """RevIN should tame inputs 1e6 in scale."""
+        config = FOCUSConfig(
+            lookback=24, horizon=6, num_entities=2, segment_length=6,
+            num_prototypes=3, d_model=8, num_readout=2,
+        )
+        model = FOCUSForecaster(config, prototypes=rng.standard_normal((3, 6)))
+        x = 1e6 * (1.0 + 0.001 * rng.standard_normal((1, 24, 2)))
+        out = model(ag.Tensor(x))
+        assert np.isfinite(out.data).all()
+        # Forecast magnitude should stay near the input's scale.
+        assert np.abs(out.data).max() < 1e8
+
+
+class TestTrainingFailures:
+    def test_nan_in_training_data_raises_not_silently_corrupts(self, rng):
+        """A NaN in the raw data (a common ingestion fault) must surface as
+        an explicit error, not silently poison the weights."""
+        data = load_dataset("ETTh1", seed=0)
+        nn.init.seed(0)
+        config = FOCUSConfig(
+            lookback=48, horizon=12, num_entities=data.num_entities,
+            segment_length=12, num_prototypes=4, d_model=8, num_readout=2,
+        )
+        model = FOCUSForecaster.from_training_data(config, data.train)
+        poisoned = data.train.copy()
+        poisoned[100, 0] = np.nan
+        from repro.data import SlidingWindowDataset
+
+        trainer = Trainer(model, TrainerConfig(epochs=1, batch_size=32))
+        with pytest.raises(RuntimeError, match="non-finite"):
+            trainer.fit(SlidingWindowDataset(poisoned, 48, 12, stride=8))
+
+    def test_grad_clip_prevents_the_same_divergence(self, rng):
+        data = load_dataset("ETTh1", seed=0)
+        nn.init.seed(0)
+        config = FOCUSConfig(
+            lookback=48, horizon=12, num_entities=data.num_entities,
+            segment_length=12, num_prototypes=4, d_model=8, num_readout=2,
+        )
+        model = FOCUSForecaster.from_training_data(config, data.train)
+        trainer = Trainer(
+            model,
+            TrainerConfig(epochs=1, batch_size=32, lr=0.5, grad_clip=1.0,
+                          restore_best=False),
+        )
+        history = trainer.fit(data.windows("train", 48, 12, stride=8))
+        assert np.isfinite(history.train_losses[-1])
+
+
+class TestAutogradEdgeCases:
+    def test_zero_size_reduction(self):
+        x = ag.tensor(np.ones((0, 3)), requires_grad=True)
+        out = x.sum()
+        out.backward()
+        assert x.grad.shape == (0, 3)
+
+    def test_softmax_with_inf_mask_gradients_finite(self, rng):
+        x = ag.Tensor(rng.standard_normal((2, 4)), requires_grad=True)
+        mask = np.array([[0.0, 0.0, -np.inf, -np.inf]] * 2)
+        out = ag.softmax(x + ag.Tensor(mask), axis=-1)
+        out.sum().backward()
+        assert np.isfinite(x.grad).all()
+        assert np.allclose(out.data[:, 2:], 0.0)
+
+    def test_division_by_tiny_values(self):
+        x = ag.tensor([1e-300], requires_grad=True)
+        out = 1.0 / (x + 1e-12)
+        out.backward(np.array([1.0]))
+        assert np.isfinite(out.data).all()

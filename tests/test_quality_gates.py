@@ -1,0 +1,68 @@
+"""Repository quality gates: examples compile, public API is documented."""
+
+import ast
+import importlib
+import pathlib
+import pkgutil
+
+import pytest
+
+import repro
+
+REPO_ROOT = pathlib.Path(repro.__file__).resolve().parents[2]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        assert len(EXAMPLES) >= 3, "the deliverable requires >= 3 examples"
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_example_compiles(self, path):
+        source = path.read_text()
+        compile(source, str(path), "exec")
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_example_has_docstring_and_main(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"
+        function_names = {
+            node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in function_names, f"{path.name} lacks a main()"
+
+
+def _public_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+ALL_MODULES = sorted(_public_modules())
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_module_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    def test_public_classes_and_functions_documented(self):
+        undocumented = []
+        for module_name in ALL_MODULES:
+            module = importlib.import_module(module_name)
+            source_file = getattr(module, "__file__", None)
+            if not source_file:
+                continue
+            tree = ast.parse(pathlib.Path(source_file).read_text())
+            for node in tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.ClassDef)):
+                    if node.name.startswith("_"):
+                        continue
+                    if not ast.get_docstring(node):
+                        undocumented.append(f"{module_name}.{node.name}")
+        assert not undocumented, f"undocumented public items: {undocumented}"
+
+    def test_repo_docs_present(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+            assert (REPO_ROOT / name).is_file(), f"missing {name}"
+        assert (REPO_ROOT / "docs").is_dir()

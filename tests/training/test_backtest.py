@@ -1,0 +1,73 @@
+"""Tests for rolling-origin backtesting."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import DLinear
+from repro.core import FOCUSConfig, FOCUSForecaster
+from repro.training.backtest import BacktestReport, rolling_backtest
+
+
+@pytest.fixture
+def series(rng):
+    t = np.arange(400)[:, None]
+    return 0.01 * t + 0.1 * rng.standard_normal((400, 2))
+
+
+class TestRollingBacktest:
+    def test_fold_structure(self, series):
+        nn.init.seed(0)
+        model = DLinear(24, 6, 2)
+        report = rolling_backtest(model, series, lookback=24, horizon=6, n_folds=4)
+        assert len(report.folds) == 4
+        total = sum(fold.n_windows for fold in report.folds)
+        assert total == 400 - 24 - 6 + 1
+        origins = [fold.origin for fold in report.folds]
+        assert origins == sorted(origins)
+
+    def test_weighted_aggregates(self, series):
+        model = DLinear(24, 6, 2)
+        report = rolling_backtest(model, series, 24, 6, n_folds=3)
+        weights = np.array([f.n_windows for f in report.folds], dtype=float)
+        expected = (np.array([f.mse for f in report.folds]) * weights).sum() / weights.sum()
+        assert report.mse == pytest.approx(expected)
+        assert report.mae > 0.0
+
+    def test_drift_sign(self):
+        # Construct a report with degrading folds: positive drift.
+        from repro.training.backtest import BacktestFold
+
+        folds = [BacktestFold(i, 10, mse=0.1 * (i + 1), mae=0.1) for i in range(4)]
+        assert BacktestReport(folds).drift > 0
+        stable = [BacktestFold(i, 10, mse=0.2, mae=0.1) for i in range(4)]
+        assert BacktestReport(stable).drift == pytest.approx(0.0)
+
+    def test_single_fold_drift_zero(self):
+        from repro.training.backtest import BacktestFold
+
+        assert BacktestReport([BacktestFold(0, 5, 0.1, 0.1)]).drift == 0.0
+
+    def test_too_short_series_raises(self, rng):
+        model = DLinear(24, 6, 2)
+        with pytest.raises(ValueError, match="too short"):
+            rolling_backtest(model, rng.standard_normal((31, 2)), 24, 6, n_folds=4)
+
+    def test_prototype_refresh_runs(self, series, rng):
+        config = FOCUSConfig(
+            lookback=24, horizon=6, num_entities=2, segment_length=6,
+            num_prototypes=4, d_model=8, num_readout=2,
+        )
+        model = FOCUSForecaster(config, prototypes=rng.standard_normal((4, 6)))
+        before = model.extractor.temporal_mixer.prototypes.copy()
+        report = rolling_backtest(
+            model, series, 24, 6, n_folds=3, refresh_prototypes=True
+        )
+        after = model.extractor.temporal_mixer.prototypes
+        assert len(report.folds) == 3
+        assert not np.allclose(before, after)  # prototypes were re-fit
+
+    def test_refresh_flag_ignored_for_baselines(self, series):
+        model = DLinear(24, 6, 2)
+        report = rolling_backtest(model, series, 24, 6, n_folds=2, refresh_prototypes=True)
+        assert len(report.folds) == 2

@@ -1,0 +1,90 @@
+"""Edge cases of the experiment runner and its config routing."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.training import ExperimentConfig, TrainerConfig, build_model
+from repro.training.experiment import FOCUS_VARIANTS
+
+
+@pytest.fixture(scope="module")
+def data():
+    return load_dataset("ETTh1", seed=0)
+
+
+class TestBuildModelRouting:
+    def test_variant_name_set_is_exact(self):
+        assert FOCUS_VARIANTS == {
+            "focus", "focus-attn", "focus-lnrfusion", "focus-alllnr",
+        }
+
+    def test_model_names_case_insensitive(self, data):
+        config = ExperimentConfig(model="focus", dataset="ETTh1", lookback=48, horizon=12)
+        model = build_model(config, data)
+        assert type(model).__name__ == "FOCUSForecaster"
+
+    def test_patchtst_inherits_segment_length_as_patch(self, data):
+        config = ExperimentConfig(
+            model="PatchTST", dataset="ETTh1", lookback=48, horizon=12, segment_length=8
+        )
+        model = build_model(config, data)
+        assert model.patch_length == 8
+
+    def test_crossformer_inherits_segment_length(self, data):
+        config = ExperimentConfig(
+            model="Crossformer", dataset="ETTh1", lookback=48, horizon=12, segment_length=8
+        )
+        model = build_model(config, data)
+        assert model.segment_length == 8
+
+    def test_model_kwargs_override_defaults(self, data):
+        config = ExperimentConfig(
+            model="PatchTST", dataset="ETTh1", lookback=48, horizon=12,
+            model_kwargs={"patch_length": 16, "n_layers": 1},
+        )
+        model = build_model(config, data)
+        assert model.patch_length == 16
+        assert len(model.layers) == 1
+
+    def test_focus_kwargs_reach_config(self, data):
+        config = ExperimentConfig(
+            model="FOCUS", dataset="ETTh1", lookback=48, horizon=12,
+            model_kwargs={"branch": "temporal", "use_revin": False},
+        )
+        model = build_model(config, data)
+        assert model.config.branch == "temporal"
+        assert model.revin is None
+
+    def test_attn_variant_skips_clustering(self, data):
+        """FOCUS-Attn needs no prototypes; build must not run clustering."""
+        config = ExperimentConfig(model="FOCUS-Attn", dataset="ETTh1", lookback=48, horizon=12)
+        model = build_model(config, data)
+        # Placeholder prototypes remain all-zero.
+        assert not hasattr(model.extractor.temporal_mixer, "prototypes")
+
+    def test_lnrfusion_variant_runs_clustering(self, data):
+        config = ExperimentConfig(
+            model="FOCUS-LnrFusion", dataset="ETTh1", lookback=48, horizon=12
+        )
+        model = build_model(config, data)
+        assert model.extractor.temporal_mixer.prototypes.std() > 0.0
+
+    def test_unknown_model_raises(self, data):
+        config = ExperimentConfig(model="NotAModel", dataset="ETTh1")
+        with pytest.raises(KeyError, match="unknown baseline"):
+            build_model(config, data)
+
+
+class TestConfigDataclass:
+    def test_trainer_default_factory_not_shared(self):
+        a = ExperimentConfig(model="DLinear", dataset="ETTh1")
+        b = ExperimentConfig(model="DLinear", dataset="ETTh1")
+        assert a.trainer is not b.trainer
+
+    def test_replace_preserves_other_fields(self):
+        base = ExperimentConfig(model="FOCUS", dataset="PEMS08", d_model=32)
+        changed = dataclasses.replace(base, horizon=48)
+        assert changed.d_model == 32 and changed.horizon == 48

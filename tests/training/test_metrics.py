@@ -1,0 +1,64 @@
+"""Tests for forecast metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.training.metrics import evaluate_forecast, mae, mape, mse, rmse
+
+
+class TestMetricValues:
+    def test_perfect_forecast(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert mse(x, x) == 0.0
+        assert mae(x, x) == 0.0
+        assert rmse(x, x) == 0.0
+        assert mape(x, x) == 0.0
+
+    def test_known_values(self):
+        pred = np.array([1.0, 2.0])
+        target = np.array([0.0, 4.0])
+        assert mse(pred, target) == pytest.approx((1.0 + 4.0) / 2)
+        assert mae(pred, target) == pytest.approx(1.5)
+        assert rmse(pred, target) == pytest.approx(np.sqrt(2.5))
+        # |1-0|/0 is masked out; |2-4|/4 = 0.5 is the only unmasked term.
+        assert mape(pred, target) == pytest.approx(0.5)
+
+    def test_mape_masks_near_zero_targets(self):
+        pred = np.array([5.0, 1.1])
+        target = np.array([0.0, 1.0])
+        assert mape(pred, target) == pytest.approx(0.1)
+
+    def test_mape_all_zero_targets(self):
+        assert mape(np.ones(3), np.zeros(3)) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_evaluate_forecast_keys(self, rng):
+        out = evaluate_forecast(rng.standard_normal(10), rng.standard_normal(10))
+        assert set(out) == {"mse", "mae", "rmse", "mape"}
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    hnp.arrays(np.float64, 20, elements=st.floats(-50, 50)),
+    hnp.arrays(np.float64, 20, elements=st.floats(-50, 50)),
+)
+def test_property_metric_relations(pred, target):
+    assert mse(pred, target) >= 0.0
+    assert mae(pred, target) >= 0.0
+    assert rmse(pred, target) == pytest.approx(np.sqrt(mse(pred, target)))
+    # RMSE >= MAE always (power-mean inequality)
+    assert rmse(pred, target) >= mae(pred, target) - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(hnp.arrays(np.float64, 15, elements=st.floats(-10, 10)))
+def test_property_symmetry(x):
+    y = x + 1.0
+    assert mse(x, y) == pytest.approx(mse(y, x))
+    assert mae(x, y) == pytest.approx(mae(y, x))

@@ -1,0 +1,41 @@
+"""Tests for the text-table reporting helpers."""
+
+from repro.training.reporting import best_model, format_table, rank_by
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        rows = [{"model": "A", "mse": 0.5}, {"model": "Blong", "mse": 0.25}]
+        out = format_table(rows)
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("model")
+        assert all(len(line) == len(lines[0]) for line in lines[2:])
+
+    def test_title(self):
+        out = format_table([{"a": 1}], title="My Table")
+        assert out.startswith("My Table\n")
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+        assert format_table([], title="T").startswith("T")
+
+    def test_missing_keys_render_blank(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        out = format_table(rows)
+        assert "3" in out
+
+
+class TestRanking:
+    def test_rank_by_ascending(self):
+        rows = [{"model": "A", "mse": 0.5}, {"model": "B", "mse": 0.2}]
+        ranked = rank_by(rows, "mse")
+        assert [r["model"] for r in ranked] == ["B", "A"]
+
+    def test_best_model(self):
+        rows = [
+            {"model": "A", "mse": 0.5},
+            {"model": "B", "mse": 0.2},
+            {"model": "C", "mse": 0.9},
+        ]
+        assert best_model(rows) == "B"

@@ -1,0 +1,141 @@
+"""Tests for the Trainer and the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import DLinear
+from repro.data import SlidingWindowDataset, load_dataset
+from repro.training import (
+    ExperimentConfig,
+    Trainer,
+    TrainerConfig,
+    build_model,
+    run_experiment,
+)
+
+
+def linear_series(n=400, entities=2, slope=0.01, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)[:, None]
+    return slope * t + 0.05 * rng.standard_normal((n, entities))
+
+
+@pytest.fixture
+def datasets():
+    data = linear_series()
+    train = SlidingWindowDataset(data[:300], lookback=24, horizon=6)
+    val = SlidingWindowDataset(data[280:], lookback=24, horizon=6)
+    return train, val
+
+
+class TestTrainer:
+    def test_fit_reduces_training_loss(self, datasets):
+        train, val = datasets
+        nn.init.seed(0)
+        model = DLinear(24, 6, 2)
+        trainer = Trainer(model, TrainerConfig(epochs=5, batch_size=16, lr=1e-2))
+        history = trainer.fit(train, val)
+        assert history.train_losses[-1] < history.train_losses[0]
+        assert len(history.val_losses) == len(history.train_losses)
+
+    def test_best_weights_restored(self, datasets):
+        train, val = datasets
+        nn.init.seed(0)
+        model = DLinear(24, 6, 2)
+        trainer = Trainer(model, TrainerConfig(epochs=6, batch_size=16, lr=1e-2))
+        history = trainer.fit(train, val)
+        # After fit, validation loss of the restored model equals best.
+        restored = trainer.validation_loss(val)
+        assert restored == pytest.approx(history.best_val_loss, rel=1e-6)
+
+    def test_early_stopping_respects_patience(self, datasets):
+        train, val = datasets
+        nn.init.seed(0)
+        model = DLinear(24, 6, 2)
+        # lr=0 after epoch 0 is impossible; instead a huge lr causes val to
+        # diverge, so patience should truncate the run.
+        trainer = Trainer(model, TrainerConfig(epochs=50, batch_size=16, lr=10.0, patience=1))
+        history = trainer.fit(train, val)
+        assert len(history.train_losses) < 50
+
+    def test_fit_without_validation(self, datasets):
+        train, _ = datasets
+        nn.init.seed(0)
+        trainer = Trainer(DLinear(24, 6, 2), TrainerConfig(epochs=2, batch_size=16))
+        history = trainer.fit(train)
+        assert history.val_losses == []
+        assert history.best_epoch == -1
+
+    def test_evaluate_returns_all_metrics(self, datasets):
+        train, val = datasets
+        trainer = Trainer(DLinear(24, 6, 2), TrainerConfig(epochs=1, batch_size=16))
+        trainer.fit(train)
+        metrics = trainer.evaluate(val)
+        assert set(metrics) == {"mse", "mae", "rmse", "mape"}
+
+    def test_evaluate_subsampling_consistent(self, datasets):
+        train, val = datasets
+        trainer = Trainer(DLinear(24, 6, 2), TrainerConfig(epochs=1, batch_size=16))
+        trainer.fit(train)
+        full = trainer.evaluate(val, stride_subsample=1)
+        sub = trainer.evaluate(val, stride_subsample=3)
+        assert sub["mse"] == pytest.approx(full["mse"], rel=0.5)
+
+    def test_validation_loss_max_batches(self, datasets):
+        train, val = datasets
+        trainer = Trainer(DLinear(24, 6, 2), TrainerConfig(epochs=1, batch_size=8))
+        trainer.fit(train)
+        limited = trainer.validation_loss(val, max_batches=1)
+        full = trainer.validation_loss(val)
+        assert np.isfinite(limited) and np.isfinite(full)
+
+    def test_training_history_time_recorded(self, datasets):
+        train, _ = datasets
+        trainer = Trainer(DLinear(24, 6, 2), TrainerConfig(epochs=1, batch_size=16))
+        history = trainer.fit(train)
+        assert history.train_seconds > 0.0
+
+
+class TestExperimentRunner:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return load_dataset("ETTh1", seed=0)
+
+    def _config(self, model, **kwargs):
+        return ExperimentConfig(
+            model=model,
+            dataset="ETTh1",
+            lookback=48,
+            horizon=12,
+            trainer=TrainerConfig(epochs=1, batch_size=64),
+            eval_stride=16,
+            **kwargs,
+        )
+
+    def test_build_focus_fits_prototypes(self, data):
+        model = build_model(self._config("FOCUS"), data)
+        assert model._has_prototypes
+        assert model.extractor.temporal_mixer.prototypes.std() > 0.0
+
+    def test_build_focus_variants(self, data):
+        for name in ["FOCUS-Attn", "FOCUS-LnrFusion", "FOCUS-AllLnr"]:
+            model = build_model(self._config(name), data)
+            assert model is not None
+
+    def test_build_baseline_passthrough(self, data):
+        model = build_model(self._config("DLinear"), data)
+        assert type(model).__name__ == "DLinear"
+
+    def test_run_experiment_end_to_end(self, data):
+        result = run_experiment(self._config("DLinear"), data)
+        assert result.mse > 0.0
+        assert result.profile.flops > 0
+        assert result.profile.parameter_count > 0
+        row = result.row()
+        assert row["model"] == "DLinear" and row["dataset"] == "ETTh1"
+
+    def test_run_experiment_focus(self, data):
+        result = run_experiment(self._config("FOCUS"), data)
+        assert np.isfinite(result.mse)
+        assert result.profile.per_op_flops.get("proto_assignment", 0) > 0

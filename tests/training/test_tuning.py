@@ -1,0 +1,83 @@
+"""Tests for the hyperparameter grid search."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.training import TrainerConfig
+from repro.training.tuning import GridSearchResult, Trial, grid_search
+
+
+@pytest.fixture(scope="module")
+def data():
+    return load_dataset("ETTh1", scale="smoke", seed=0)
+
+
+FAST = TrainerConfig(epochs=1, batch_size=64, lr=5e-3, patience=99, restore_best=False)
+
+
+class TestGridSearch:
+    def test_covers_full_grid(self, data):
+        result = grid_search(
+            "DLinear",
+            data,
+            {"kernel_size": [5, 25]},
+            lookback=48,
+            horizon=12,
+            trainer=FAST,
+            train_stride=8,
+        )
+        assert len(result.trials) == 2
+        assert {t.params["kernel_size"] for t in result.trials} == {5, 25}
+
+    def test_best_is_min_val_mse(self, data):
+        result = grid_search(
+            "DLinear",
+            data,
+            {"kernel_size": [3, 15, 45]},
+            lookback=48,
+            horizon=12,
+            trainer=FAST,
+            train_stride=8,
+        )
+        assert result.best.val_mse == min(t.val_mse for t in result.trials)
+
+    def test_config_fields_routed_correctly(self, data):
+        """segment_length / num_prototypes are ExperimentConfig fields and
+        must reach the FOCUS builder, not the model kwargs."""
+        result = grid_search(
+            "FOCUS",
+            data,
+            {"segment_length": [8, 16], "num_prototypes": [2]},
+            lookback=48,
+            horizon=12,
+            trainer=FAST,
+            train_stride=8,
+        )
+        assert len(result.trials) == 2
+        assert all(np.isfinite(t.val_mse) for t in result.trials)
+
+    def test_rows_sorted_ascending(self, data):
+        result = grid_search(
+            "DLinear",
+            data,
+            {"kernel_size": [5, 25]},
+            lookback=48,
+            horizon=12,
+            trainer=FAST,
+            train_stride=8,
+        )
+        rows = result.as_rows()
+        assert rows[0]["val_mse"] <= rows[-1]["val_mse"]
+        assert {"val_mse", "val_mae", "seconds", "kernel_size"} <= set(rows[0])
+
+    def test_empty_grid_raises(self, data):
+        with pytest.raises(ValueError, match="param_grid"):
+            grid_search("DLinear", data, {})
+
+    def test_trial_timing_recorded(self, data):
+        result = grid_search(
+            "DLinear", data, {"kernel_size": [5]},
+            lookback=48, horizon=12, trainer=FAST, train_stride=8,
+        )
+        assert result.trials[0].seconds > 0.0
