@@ -1,0 +1,77 @@
+"""Hot-path performance regressions: the three optimizations of the
+``repro bench`` harness, asserted rather than eyeballed.
+
+These mirror ``repro.profiling.bench`` but run under pytest-benchmark so
+the timings land in the same ``--benchmark-*`` machinery as the paper
+figures.  Thresholds are deliberately conservative (CI machines are
+noisy); BENCH_hotpath.json records the precise numbers for a quiet box.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.profiling.bench import (
+    bench_clustering,
+    bench_protoattn,
+    bench_streaming,
+    run_benchmarks,
+)
+
+
+def test_vectorized_refinement_beats_loop(benchmark):
+    """The batched (k, p) refinement must be markedly faster than the
+    per-prototype Python loop — and bit-for-bit equivalent to 1e-8."""
+    result = benchmark.pedantic(bench_clustering, rounds=1, iterations=1)
+    print()
+    print(
+        f"  clustering fit: vectorized {result['vectorized_s']:.3f}s vs "
+        f"loop {result['loop_s']:.3f}s ({result['speedup']:.2f}x)"
+    )
+    assert result["equivalent_1e8"], (
+        f"prototypes diverged: max|diff| = {result['max_abs_diff']:.3e}"
+    )
+    # Measured ~4x on the pinned config; require a conservative 2x.
+    assert result["speedup"] >= 2.0, result
+
+
+def test_query_cache_speeds_up_inference(benchmark):
+    """Serving C_Q from the cache must not be slower than recomputing."""
+    result = benchmark.pedantic(bench_protoattn, rounds=1, iterations=1)
+    print()
+    print(
+        f"  protoattn fwd: cached {result['cached_ms']:.3f}ms vs "
+        f"uncached {result['uncached_ms']:.3f}ms ({result['speedup']:.2f}x)"
+    )
+    assert result["speedup"] >= 1.0, result
+
+
+def test_streaming_observe_throughput(benchmark):
+    """observe() is an O(N) ring write; even with adaptation enabled it
+    must sustain well beyond real-time rates."""
+    result = benchmark.pedantic(bench_streaming, rounds=1, iterations=1)
+    print()
+    print(
+        f"  streaming: {result['observe_per_s']:.0f} obs/s "
+        f"({result['observe_us']:.1f}us/observe), "
+        f"forecast {result['forecast_ms']:.2f}ms"
+    )
+    # Measured ~120k obs/s; require a conservative 10k.
+    assert result["observe_per_s"] >= 10_000, result
+
+
+def test_report_is_json_serializable():
+    import json
+
+    report = run_benchmarks(quick=True)
+    encoded = json.loads(json.dumps(report))
+    assert encoded["schema"] == 1
+    assert set(encoded) == {
+        "schema",
+        "mode",
+        "generated",
+        "clustering_fit",
+        "protoattn_forward",
+        "streaming",
+    }
+    assert np.isfinite(encoded["clustering_fit"]["max_abs_diff"])

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro run      --model FOCUS --dataset PEMS08 --epochs 6
     python -m repro profile  --model FOCUS --dataset PEMS08 --lookback 384
     python -m repro compare  --dataset PEMS08 --models FOCUS,DLinear,PatchTST
+    python -m repro bench    [--quick] [--out BENCH_hotpath.json]
 
 All commands operate on the synthetic dataset surrogates (seeded, see
 DESIGN.md) and print plain-text tables.
@@ -160,6 +161,41 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.profiling.bench import run_benchmarks, write_report
+
+    report = run_benchmarks(quick=args.quick)
+    clustering = report["clustering_fit"]
+    attn = report["protoattn_forward"]
+    streaming = report["streaming"]
+    print(f"hot-path benchmark ({report['mode']} mode)")
+    print(
+        f"  clustering fit : vectorized {clustering['vectorized_s']:.3f}s vs "
+        f"loop {clustering['loop_s']:.3f}s  ({clustering['speedup']:.2f}x, "
+        f"max|diff| {clustering['max_abs_diff']:.2e})"
+    )
+    print(
+        f"  protoattn fwd  : cached {attn['cached_ms']:.3f}ms vs "
+        f"uncached {attn['uncached_ms']:.3f}ms  ({attn['speedup']:.2f}x)"
+    )
+    print(
+        f"  streaming      : {streaming['observe_per_s']:.0f} obs/s "
+        f"({streaming['observe_us']:.1f}us/observe), "
+        f"forecast {streaming['forecast_ms']:.2f}ms"
+    )
+    if not clustering["equivalent_1e8"]:
+        print("WARNING: vectorized and loop prototypes diverge beyond 1e-8")
+        return 1
+    if args.out:
+        try:
+            write_report(report, args.out)
+        except OSError as error:
+            print(f"error: could not write {args.out}: {error}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -197,6 +233,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--batch-size", type=int, default=32)
     compare.add_argument("--lr", type=float, default=5e-3)
     compare.set_defaults(func=_cmd_compare)
+
+    bench = sub.add_parser("bench", help="time the hot paths, write BENCH_hotpath.json")
+    bench.add_argument("--quick", action="store_true", help="smaller pinned config")
+    bench.add_argument("--out", default="BENCH_hotpath.json",
+                       help="output JSON path ('' to skip writing)")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

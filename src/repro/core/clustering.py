@@ -75,6 +75,10 @@ class ClusteringConfig:
 
     ``alpha=0.2`` is the paper's setting (Sec. VIII-A);
     ``use_correlation=False`` gives the *Rec Only* ablation.
+    ``refine_impl`` selects the prototype-refinement kernel:
+    ``"vectorized"`` (default) optimizes one batched ``(k, p)`` tensor,
+    ``"loop"`` keeps the original one-Tensor-per-prototype reference
+    implementation for equivalence testing and benchmarking.
     """
 
     num_prototypes: int = 8
@@ -87,6 +91,13 @@ class ClusteringConfig:
     tol: float = 1e-6
     use_correlation: bool = True
     seed: int = 0
+    refine_impl: str = "vectorized"
+
+    def __post_init__(self):
+        if self.refine_impl not in ("vectorized", "loop"):
+            raise ValueError(
+                f"refine_impl must be 'vectorized' or 'loop', got {self.refine_impl!r}"
+            )
 
     @property
     def effective_alpha(self) -> float:
@@ -179,18 +190,97 @@ class SegmentClusterer:
         """Re-seed any empty prototype at the segment farthest from its own."""
         cfg = self.config
         counts = np.bincount(labels, minlength=cfg.num_prototypes)
-        for j in np.where(counts == 0)[0]:
-            dists = composite_distance(segments, prototypes, cfg.effective_alpha)
-            worst = int(dists[np.arange(len(labels)), labels].argmax())
+        empty = np.where(counts == 0)[0]
+        if not len(empty):
+            return
+        # One full (n, k) distance computation; re-seeding prototype j only
+        # changes the own-prototype distance of the segment moved into
+        # bucket j (nothing was assigned to j before), so the remaining
+        # entries stay valid and are patched incrementally.
+        own = composite_distance(segments, prototypes, cfg.effective_alpha)[
+            np.arange(len(labels)), labels
+        ]
+        for j in empty:
+            worst = int(own.argmax())
             prototypes[j] = segments[worst] + 1e-6 * rng.standard_normal(
                 segments.shape[1]
             )
             labels[worst] = j
+            own[worst] = composite_distance(
+                segments[worst : worst + 1], prototypes[j : j + 1], cfg.effective_alpha
+            )[0, 0]
 
     def _refine_prototypes(
         self, segments: np.ndarray, labels: np.ndarray, prototypes: np.ndarray
     ) -> tuple[np.ndarray, float]:
         """Gradient refinement of Eq. (10) with AdamW (paper Sec. V)."""
+        if self.config.refine_impl == "loop":
+            return self._refine_prototypes_loop(segments, labels, prototypes)
+        return self._refine_prototypes_vectorized(segments, labels, prototypes)
+
+    def _refine_prototypes_vectorized(
+        self, segments: np.ndarray, labels: np.ndarray, prototypes: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """Batched refinement: one ``(k, p)`` parameter tensor.
+
+        The Pearson term of Eq. (10) is linear in the (fixed) segments, so
+        each bucket's mean correlation collapses to a dot product between
+        the prototype and the precomputed mean of the bucket's unit-
+        normalized centered segments — O(n·p) setup once per call instead
+        of per optimizer step, and a graph of ~10 batched ops instead of
+        O(k) small ones.  AdamW updates are elementwise, so the trajectory
+        matches the per-prototype reference implementation.
+        """
+        cfg = self.config
+        k = cfg.num_prototypes
+        params = Tensor(prototypes.copy(), requires_grad=True)  # (k, p)
+        optimizer = AdamW([params], lr=cfg.lr, weight_decay=cfg.weight_decay)
+
+        counts = np.bincount(labels, minlength=k).astype(np.float64)
+        occupied = counts > 0
+        sums = np.zeros_like(prototypes)
+        np.add.at(sums, labels, segments)
+        # Empty buckets are anchored to their incoming prototype (the
+        # reconstruction term then has zero initial gradient), exactly as
+        # the reference implementation does.
+        means = Tensor(
+            np.where(
+                occupied[:, None], sums / np.maximum(counts, 1.0)[:, None], prototypes
+            )
+        )
+
+        use_corr = cfg.use_correlation and bool(occupied.any())
+        if use_corr:
+            seg = segments - segments.mean(axis=1, keepdims=True)
+            seg_norm = np.linalg.norm(seg, axis=1)
+            seg_norm = np.where(seg_norm < 1e-12, 1.0, seg_norm)
+            unit = seg / seg_norm[:, None]
+            unit_mean = np.zeros_like(prototypes)
+            np.add.at(unit_mean, labels, unit)
+            unit_mean /= np.maximum(counts, 1.0)[:, None]
+            unit_mean = Tensor(unit_mean)
+            corr_mask = Tensor(occupied.astype(np.float64))
+
+        final_loss = 0.0
+        for _ in range(cfg.refine_steps):
+            diff = params - means
+            loss = (diff * diff).sum()
+            if use_corr:
+                centered = params - params.mean(axis=1, keepdims=True)
+                norm = ag.sqrt((centered * centered).sum(axis=1) + 1e-12)
+                corr = (unit_mean * centered).sum(axis=1) / norm  # (k,)
+                loss = loss + (corr * corr_mask).sum() * (-cfg.alpha)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            final_loss = loss.item()
+        return params.data.copy(), final_loss
+
+    def _refine_prototypes_loop(
+        self, segments: np.ndarray, labels: np.ndarray, prototypes: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """Reference implementation: one Tensor per prototype, looped in
+        Python.  Kept for equivalence tests and the hot-path benchmark."""
         cfg = self.config
         proto_params = [Tensor(prototypes[j].copy(), requires_grad=True) for j in range(cfg.num_prototypes)]
         optimizer = AdamW(proto_params, lr=cfg.lr, weight_decay=cfg.weight_decay)
@@ -276,6 +366,9 @@ class SegmentClusterer:
                     archive[f"config_{field.name}"].item()
                 )
                 for field in dataclasses.fields(ClusteringConfig)
+                # Archives written before a config field existed fall back
+                # to that field's default.
+                if f"config_{field.name}" in archive.files
             }
             clusterer = cls(ClusteringConfig(**kwargs))
             clusterer.prototypes_ = archive["prototypes"].copy()

@@ -163,7 +163,22 @@ class FOCUSForecaster(Module):
         for mixer in (self.extractor.temporal_mixer, self.extractor.entity_mixer):
             if hasattr(mixer, "prototypes"):
                 mixer.prototypes[...] = prototypes
+                if hasattr(mixer, "invalidate_cache"):
+                    mixer.invalidate_cache()
         self._has_prototypes = True
+
+    def update_prototype(self, index: int, value: np.ndarray) -> None:
+        """Overwrite one prototype row in place (both mixers stay in sync).
+
+        Used by streaming adaptation: updating a single row avoids
+        rebuilding the full ``(k, p)`` dictionary per novel segment.
+        """
+        value = np.asarray(value, dtype=np.float64)
+        for mixer in (self.extractor.temporal_mixer, self.extractor.entity_mixer):
+            if hasattr(mixer, "prototypes"):
+                mixer.prototypes[index] = value
+                if hasattr(mixer, "invalidate_cache"):
+                    mixer.invalidate_cache()
 
     @classmethod
     def from_training_data(

@@ -20,6 +20,7 @@ from repro import autograd as ag
 from repro.autograd import Tensor
 from repro.core.clustering import composite_distance
 from repro.nn import Linear, Module
+from repro.profiling.counter import active_counter
 
 
 class ProtoAttn(Module):
@@ -76,6 +77,35 @@ class ProtoAttn(Module):
         self.w_v = Linear(p, d_model, bias=False)
         self.last_assignment_: np.ndarray | None = None
         self.last_attention_: np.ndarray | None = None
+        # Inference cache for C_Q = W_E(C): prototypes are fixed online, so
+        # the projection is recomputed only when W_E or C actually change.
+        # Tuple of (W_E snapshot, prototype snapshot, projected queries).
+        self._query_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def invalidate_cache(self) -> None:
+        """Drop the cached prototype query projection."""
+        self._query_cache = None
+
+    def _proto_queries(self) -> Tensor:
+        """C_Q = W_E(C), cached between inference forwards.
+
+        Staleness is detected by value comparison against small snapshots
+        of W_E and the prototypes (both are mutated in place by the
+        optimizer / ``load_state_dict`` / streaming adaptation, so object
+        identity cannot be trusted).  Only used with gradients disabled —
+        training forwards must build the graph so W_E receives gradients.
+        """
+        weight = self.w_e.weight.data
+        cache = self._query_cache
+        if (
+            cache is None
+            or not np.array_equal(cache[0], weight)
+            or not np.array_equal(cache[1], self.prototypes)
+        ):
+            projected = self.w_e(Tensor(self.prototypes)).data
+            cache = (weight.copy(), self.prototypes.copy(), projected)
+            self._query_cache = cache
+        return Tensor(cache[2])
 
     def assign(self, segments: np.ndarray) -> np.ndarray:
         """Hard-assign ``(..., p)`` segments to nearest prototypes."""
@@ -108,17 +138,27 @@ class ProtoAttn(Module):
         # Hard mode (the paper) routes one-hot; soft mode is an extension.
         assignment = self.assignment_weights(segments.data)  # (B, l, k)
         self.last_assignment_ = assignment.argmax(axis=-1)
-        from repro.profiling.counter import active_counter
-
         counter = active_counter()
         if counter is not None:
-            # Nearest-prototype search: O(l * k * p) multiply-adds plus the
-            # correlation term (Sec. VI-B complexity analysis).
-            cost = 3 * batch * n_segments * self.num_prototypes * self.segment_length
+            # Nearest-prototype search (Sec. VI-B complexity analysis): the
+            # squared-Euclidean term is one (B·l, k) GEMM over p-vectors.
+            # The Pearson term costs a second GEMM of the same shape, but
+            # only when it is actually computed (alpha != 0); charging it
+            # unconditionally would inflate Fig. 6-style numbers for the
+            # Euclidean-only (Rec Only) configuration.
+            unit = batch * n_segments * self.num_prototypes * self.segment_length
+            cost = 2 * unit
+            if self.alpha != 0.0:
+                cost += 2 * unit
             counter.add_flops(cost, label="proto_assignment")
 
-        # Eq. (14): projections.
-        proto_queries = self.w_e(Tensor(self.prototypes))  # (k, d)
+        # Eq. (14): projections.  Prototypes are fixed during inference, so
+        # C_Q is served from the cache when gradients are off; profiled
+        # runs recompute so FLOP accounting stays deterministic.
+        if ag.is_grad_enabled() or counter is not None:
+            proto_queries = self.w_e(Tensor(self.prototypes))  # (k, d)
+        else:
+            proto_queries = self._proto_queries()  # (k, d), cached
         keys = self.w_k(segments)  # (B, l, d)
         values = self.w_v(segments)  # (B, l, d)
 

@@ -70,7 +70,11 @@ class StreamingFOCUS:
         self.novelty_threshold = novelty_threshold
         self.ema = ema
         config = model.config
-        self._buffer = np.zeros((config.lookback, config.num_entities))
+        # True ring buffer: ``_ring`` is fixed storage, ``_head`` the next
+        # write slot.  ``observe`` is an O(N) row write — the O(L·N) copy
+        # of the previous np.roll-based implementation is gone.
+        self._ring = np.zeros((config.lookback, config.num_entities))
+        self._head = 0
         self._filled = 0
         self._distance_history: list[float] = []
         self.stats = StreamingStats()
@@ -80,6 +84,23 @@ class StreamingFOCUS:
         """True once a full lookback window has been observed."""
         return self._filled >= self.model.config.lookback
 
+    @property
+    def _buffer(self) -> np.ndarray:
+        """The lookback window in chronological order (oldest first).
+
+        Materialized on demand; slots not yet overwritten hold zeros, as
+        in the previous roll-based buffer.
+        """
+        if self._head == 0:
+            return self._ring
+        return np.concatenate([self._ring[self._head :], self._ring[: self._head]])
+
+    def _recent(self, steps: int) -> np.ndarray:
+        """The last ``steps`` observations in chronological order."""
+        lookback = self.model.config.lookback
+        indices = (self._head - steps + np.arange(steps)) % lookback
+        return self._ring[indices]
+
     def observe(self, observation: np.ndarray) -> None:
         """Push one time step of ``(N,)`` values into the buffer."""
         observation = np.asarray(observation, dtype=np.float64)
@@ -88,18 +109,41 @@ class StreamingFOCUS:
                 f"expected ({self.model.config.num_entities},) observation, "
                 f"got {observation.shape}"
             )
-        self._buffer = np.roll(self._buffer, -1, axis=0)
-        self._buffer[-1] = observation
-        self._filled = min(self._filled + 1, self.model.config.lookback)
+        lookback = self.model.config.lookback
+        self._ring[self._head] = observation
+        self._head = (self._head + 1) % lookback
+        self._filled = min(self._filled + 1, lookback)
         self.stats.observations += 1
         p = self.model.config.segment_length
         if self.adapt_prototypes and self._filled >= p and self.stats.observations % p == 0:
-            self._maybe_adapt(self._buffer[-p:])
+            self._maybe_adapt(self._recent(p))
 
     def observe_many(self, observations: np.ndarray) -> None:
         """Push a ``(T, N)`` block of observations."""
-        for row in np.asarray(observations, dtype=np.float64):
-            self.observe(row)
+        observations = np.asarray(observations, dtype=np.float64)
+        if self.adapt_prototypes:
+            # Adaptation checks fire on per-segment boundaries; route
+            # through observe() (now cheap) to keep them exact.
+            for row in observations:
+                self.observe(row)
+            return
+        if observations.ndim != 2 or observations.shape[1] != self.model.config.num_entities:
+            raise ValueError(
+                f"expected (T, {self.model.config.num_entities}) block, "
+                f"got {observations.shape}"
+            )
+        total = len(observations)
+        if total == 0:
+            return
+        lookback = self.model.config.lookback
+        # Only the trailing ``lookback`` rows can survive in the ring.
+        keep = observations[-lookback:]
+        offset = self._head + (total - len(keep))
+        indices = (offset + np.arange(len(keep))) % lookback
+        self._ring[indices] = keep
+        self._head = (self._head + total) % lookback
+        self._filled = min(self._filled + total, lookback)
+        self.stats.observations += total
 
     def forecast(self) -> np.ndarray:
         """Forecast the next ``horizon`` steps from the current buffer."""
@@ -126,24 +170,24 @@ class StreamingFOCUS:
         distances = composite_distance(segments, prototypes, alpha)
         nearest = distances.argmin(axis=1)
         nearest_dist = distances[np.arange(len(segments)), nearest]
-        self._distance_history.extend(nearest_dist.tolist())
-        if len(self._distance_history) > 1024:
-            self._distance_history = self._distance_history[-1024:]
-        median = float(np.median(self._distance_history))
+        # Novelty is judged against the history *before* this block: a
+        # burst of novel segments must not inflate the median it is
+        # compared against (which would suppress its own detection).
+        history = self._distance_history
+        median = float(np.median(history)) if history else 0.0
+        history.extend(nearest_dist.tolist())
+        if len(history) > 1024:
+            del history[: len(history) - 1024]
         if median <= 0.0:
             return
-        for segment, proto_idx, dist in zip(segments, nearest, nearest_dist):
-            if dist > self.novelty_threshold * median:
-                self.stats.novel_segments += 1
-                if self.ema > 0.0:
-                    updated = (1.0 - self.ema) * prototypes[proto_idx] + self.ema * segment
-                    self.model.set_prototypes(
-                        np.vstack(
-                            [
-                                updated if j == proto_idx else prototypes[j]
-                                for j in range(len(prototypes))
-                            ]
-                        )
-                    )
-                    prototypes = self._prototypes()
-                    self.stats.prototype_updates += 1
+        novel = nearest_dist > self.novelty_threshold * median
+        self.stats.novel_segments += int(novel.sum())
+        if self.ema <= 0.0:
+            return
+        for segment, proto_idx in zip(segments[novel], nearest[novel]):
+            # In-place row update (both mixers share the dictionary);
+            # ``prototypes`` aliases the live buffer, so consecutive novel
+            # segments hitting the same prototype compound, as before.
+            updated = (1.0 - self.ema) * prototypes[proto_idx] + self.ema * segment
+            self.model.update_prototype(int(proto_idx), updated)
+            self.stats.prototype_updates += 1

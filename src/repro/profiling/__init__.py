@@ -8,6 +8,14 @@ observing every autograd op during a forward pass, so no per-model
 instrumentation is needed.
 """
 
+from repro.profiling.bench import run_benchmarks, write_report
 from repro.profiling.counter import OpCounter, ProfileReport, count_ops, profile_model
 
-__all__ = ["OpCounter", "ProfileReport", "count_ops", "profile_model"]
+__all__ = [
+    "OpCounter",
+    "ProfileReport",
+    "count_ops",
+    "profile_model",
+    "run_benchmarks",
+    "write_report",
+]

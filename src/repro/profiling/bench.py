@@ -1,0 +1,190 @@
+"""Hot-path micro-benchmarks behind ``repro bench`` / BENCH_hotpath.json.
+
+Three wall-clock measurements on pinned synthetic configurations, chosen
+so every future change has a performance trajectory to compare against:
+
+1. **Offline clustering fit** — the vectorized ``(k, p)`` prototype
+   refinement against the per-prototype loop reference implementation
+   (equivalence is asserted, not assumed: the two must agree to 1e-8).
+2. **ProtoAttn inference forward** — with the cached prototype query
+   projection against a forward that recomputes C_Q every call.
+3. **Streaming throughput** — ring-buffer ``observe`` steps/second and
+   end-to-end ``forecast`` latency.
+
+``run_benchmarks`` returns a JSON-serializable report (see
+``docs/reproducing_the_paper.md`` for the schema); the ``repro bench``
+CLI subcommand writes it to ``BENCH_hotpath.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+
+import numpy as np
+
+from repro import autograd as ag
+from repro.autograd import Tensor
+
+SCHEMA_VERSION = 1
+
+# Pinned dimensions: large enough that the hot paths dominate, small
+# enough that the full benchmark stays under ~1 minute on CPU.
+_CLUSTER_FULL = {"segments_per_motif": 512, "segment_length": 24,
+                 "num_prototypes": 16, "refine_steps": 10, "max_iters": 8}
+_CLUSTER_QUICK = {"segments_per_motif": 96, "segment_length": 16,
+                  "num_prototypes": 8, "refine_steps": 5, "max_iters": 5}
+
+_ATTN_FULL = {"k": 8, "p": 16, "d_model": 64, "batch": 8, "n_segments": 32, "rounds": 30}
+_ATTN_QUICK = {"k": 8, "p": 16, "d_model": 32, "batch": 4, "n_segments": 16, "rounds": 8}
+
+_STREAM_FULL = {"lookback": 96, "entities": 8, "segment_length": 12,
+                "num_prototypes": 8, "d_model": 16, "steps": 4096, "forecasts": 5}
+_STREAM_QUICK = {"lookback": 48, "entities": 4, "segment_length": 12,
+                 "num_prototypes": 4, "d_model": 8, "steps": 512, "forecasts": 2}
+
+
+def _motif_segments(n_per_motif: int, p: int, k: int, seed: int = 7) -> np.ndarray:
+    """Seeded segments drawn around ``k // 2`` sinusoid motifs."""
+    rng = np.random.default_rng(seed)
+    grid = np.linspace(0.0, 2.0 * np.pi, p)
+    motifs = [np.sin((j + 1) * grid / 2.0 + j) for j in range(max(k // 2, 2))]
+    return np.concatenate(
+        [m + 0.3 * rng.standard_normal((n_per_motif, p)) for m in motifs]
+    )
+
+
+def bench_clustering(quick: bool = False) -> dict:
+    """Vectorized vs loop prototype refinement on one pinned fit."""
+    from repro.core.clustering import ClusteringConfig, SegmentClusterer
+
+    dims = _CLUSTER_QUICK if quick else _CLUSTER_FULL
+    segments = _motif_segments(
+        dims["segments_per_motif"], dims["segment_length"], dims["num_prototypes"]
+    )
+    config = ClusteringConfig(
+        num_prototypes=dims["num_prototypes"],
+        segment_length=dims["segment_length"],
+        refine_steps=dims["refine_steps"],
+        max_iters=dims["max_iters"],
+        seed=0,
+    )
+
+    started = time.perf_counter()
+    vectorized = SegmentClusterer(config).fit(segments)
+    vectorized_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    loop = SegmentClusterer(dataclasses.replace(config, refine_impl="loop")).fit(segments)
+    loop_s = time.perf_counter() - started
+
+    max_abs_diff = float(np.abs(vectorized.prototypes_ - loop.prototypes_).max())
+    return {
+        "config": {**dims, "n_segments": len(segments)},
+        "vectorized_s": round(vectorized_s, 4),
+        "loop_s": round(loop_s, 4),
+        "speedup": round(loop_s / vectorized_s, 2),
+        "max_abs_diff": max_abs_diff,
+        "equivalent_1e8": bool(max_abs_diff < 1e-8),
+    }
+
+
+def bench_protoattn(quick: bool = False) -> dict:
+    """Cached vs recomputed C_Q projection during inference forwards."""
+    from repro.core.protoattn import ProtoAttn
+
+    dims = _ATTN_QUICK if quick else _ATTN_FULL
+    rng = np.random.default_rng(3)
+    layer = ProtoAttn(
+        rng.standard_normal((dims["k"], dims["p"])), d_model=dims["d_model"]
+    )
+    layer.eval()
+    segments = Tensor(
+        rng.standard_normal((dims["batch"], dims["n_segments"], dims["p"]))
+    )
+    rounds = dims["rounds"]
+
+    with ag.no_grad():
+        layer(segments)  # warm both code paths once
+        started = time.perf_counter()
+        for _ in range(rounds):
+            layer.invalidate_cache()
+            layer(segments)
+        uncached_ms = (time.perf_counter() - started) / rounds * 1e3
+
+        layer(segments)  # prime the cache
+        started = time.perf_counter()
+        for _ in range(rounds):
+            layer(segments)
+        cached_ms = (time.perf_counter() - started) / rounds * 1e3
+
+    return {
+        "config": {key: dims[key] for key in ("k", "p", "d_model", "batch", "n_segments")},
+        "rounds": rounds,
+        "uncached_ms": round(uncached_ms, 4),
+        "cached_ms": round(cached_ms, 4),
+        "speedup": round(uncached_ms / cached_ms, 2),
+    }
+
+
+def bench_streaming(quick: bool = False) -> dict:
+    """Ring-buffer observe throughput and forecast latency."""
+    from repro.core.model import FOCUSConfig, FOCUSForecaster
+    from repro.core.streaming import StreamingFOCUS
+
+    dims = _STREAM_QUICK if quick else _STREAM_FULL
+    rng = np.random.default_rng(11)
+    config = FOCUSConfig(
+        lookback=dims["lookback"],
+        horizon=12,
+        num_entities=dims["entities"],
+        segment_length=dims["segment_length"],
+        num_prototypes=dims["num_prototypes"],
+        d_model=dims["d_model"],
+        num_readout=2,
+    )
+    model = FOCUSForecaster(
+        config,
+        prototypes=rng.standard_normal(
+            (dims["num_prototypes"], dims["segment_length"])
+        ),
+    )
+    stream = StreamingFOCUS(model, adapt_prototypes=True)
+    rows = rng.standard_normal((dims["steps"], dims["entities"]))
+
+    started = time.perf_counter()
+    for row in rows:
+        stream.observe(row)
+    observe_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(dims["forecasts"]):
+        stream.forecast()
+    forecast_ms = (time.perf_counter() - started) / dims["forecasts"] * 1e3
+
+    return {
+        "config": dict(dims),
+        "observe_per_s": round(dims["steps"] / observe_s, 1),
+        "observe_us": round(observe_s / dims["steps"] * 1e6, 2),
+        "forecast_ms": round(forecast_ms, 3),
+    }
+
+
+def run_benchmarks(quick: bool = False) -> dict:
+    """Run all three hot-path benchmarks; returns the report dict."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "mode": "quick" if quick else "full",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "clustering_fit": bench_clustering(quick),
+        "protoattn_forward": bench_protoattn(quick),
+        "streaming": bench_streaming(quick),
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    """Serialize a benchmark report as indented JSON."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")

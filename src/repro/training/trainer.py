@@ -116,7 +116,16 @@ class Trainer:
                 if history.best_epoch < 0 or val_loss < history.best_val_loss:
                     history.best_epoch = epoch
                     if cfg.restore_best:
-                        best_state = self.model.state_dict()
+                        # Snapshot defensively: state_dict() makes no
+                        # ownership guarantee (torch-style implementations
+                        # return references to the live arrays), and later
+                        # optimizer steps mutate parameters in place — an
+                        # aliased snapshot would silently restore the
+                        # *final* weights instead of the best ones.
+                        best_state = {
+                            name: np.array(value, copy=True)
+                            for name, value in self.model.state_dict().items()
+                        }
                     bad_epochs = 0
                 else:
                     bad_epochs += 1

@@ -211,6 +211,122 @@ class TestSegmentClusterer:
         history = clusterer.loss_history_
         assert history[-1] < history[0]
 
+    def test_invalid_refine_impl_rejected(self):
+        with pytest.raises(ValueError, match="refine_impl"):
+            ClusteringConfig(refine_impl="numba")
+
+
+class TestSaveLoadRoundTrip:
+    def test_non_default_config_survives(self, rng, tmp_path):
+        """Every config field — including bools and strings — must round-trip.
+
+        npz archives store everything as arrays; a naive reload turns
+        ``use_correlation=False`` into ``np.bool_`` (or worse, a truthy
+        0-d array), silently re-enabling the correlation term.
+        """
+        segments, _ = motif_segments(rng)
+        config = ClusteringConfig(
+            num_prototypes=3,
+            segment_length=8,
+            alpha=0.7,
+            max_iters=6,
+            refine_steps=3,
+            lr=0.02,
+            use_correlation=False,
+            seed=3,
+            refine_impl="loop",
+        )
+        clusterer = SegmentClusterer(config).fit(segments)
+        path = str(tmp_path / "clusterer.npz")
+        clusterer.save(path)
+        restored = SegmentClusterer.load(path)
+        for field_name in (
+            "num_prototypes",
+            "segment_length",
+            "alpha",
+            "max_iters",
+            "refine_steps",
+            "lr",
+            "use_correlation",
+            "seed",
+            "refine_impl",
+        ):
+            original = getattr(config, field_name)
+            value = getattr(restored.config, field_name)
+            assert value == original, field_name
+            assert type(value) is type(original), field_name
+        assert restored.config.effective_alpha == 0.0
+
+    def test_assignments_identical_after_reload(self, rng, tmp_path):
+        segments, _ = motif_segments(rng)
+        clusterer = SegmentClusterer(
+            ClusteringConfig(num_prototypes=3, segment_length=8, seed=0)
+        ).fit(segments)
+        path = str(tmp_path / "clusterer.npz")
+        clusterer.save(path)
+        restored = SegmentClusterer.load(path)
+        assert np.array_equal(restored.prototypes_, clusterer.prototypes_)
+        assert np.array_equal(restored.assign(segments), clusterer.assign(segments))
+        assert restored.n_iter_ == clusterer.n_iter_
+        assert restored.loss_history_ == pytest.approx(clusterer.loss_history_)
+
+    def test_archive_without_newer_fields_loads_defaults(self, rng, tmp_path):
+        """Archives written before a config field existed must still load."""
+        segments, _ = motif_segments(rng)
+        clusterer = SegmentClusterer(
+            ClusteringConfig(num_prototypes=3, segment_length=8, seed=0)
+        ).fit(segments)
+        path = str(tmp_path / "clusterer.npz")
+        clusterer.save(path)
+        with np.load(path) as archive:
+            entries = {name: archive[name] for name in archive.files}
+        del entries["config_refine_impl"]
+        old_path = str(tmp_path / "old_format.npz")
+        np.savez_compressed(old_path, **entries)
+        restored = SegmentClusterer.load(old_path)
+        assert restored.config.refine_impl == "vectorized"
+        assert np.array_equal(restored.prototypes_, clusterer.prototypes_)
+
+
+class TestRefineEquivalence:
+    """The batched (k, p) refinement must match the per-prototype loop."""
+
+    @pytest.mark.parametrize("use_correlation", [True, False])
+    def test_full_fit_matches_loop(self, rng, use_correlation):
+        segments, _ = motif_segments(rng, noise=0.3)
+        base = dict(
+            num_prototypes=4,
+            segment_length=8,
+            seed=0,
+            max_iters=10,
+            use_correlation=use_correlation,
+        )
+        fast = SegmentClusterer(
+            ClusteringConfig(refine_impl="vectorized", **base)
+        ).fit(segments)
+        slow = SegmentClusterer(ClusteringConfig(refine_impl="loop", **base)).fit(
+            segments
+        )
+        assert np.allclose(fast.prototypes_, slow.prototypes_, atol=1e-8)
+        assert np.array_equal(fast.assign(segments), slow.assign(segments))
+        assert fast.loss_history_ == pytest.approx(slow.loss_history_, abs=1e-8)
+
+    def test_single_refine_call_matches_loop(self, rng):
+        """One refinement call, including empty buckets (bucket 3 unused)."""
+        segments = rng.standard_normal((30, 6))
+        prototypes = rng.standard_normal((4, 6))
+        labels = rng.integers(0, 3, size=30)  # bucket 3 stays empty
+        config = ClusteringConfig(num_prototypes=4, segment_length=6, refine_steps=5)
+        clusterer = SegmentClusterer(config)
+        fast, fast_loss = clusterer._refine_prototypes_vectorized(
+            segments, labels, prototypes.copy()
+        )
+        slow, slow_loss = clusterer._refine_prototypes_loop(
+            segments, labels, prototypes.copy()
+        )
+        assert np.allclose(fast, slow, atol=1e-8)
+        assert fast_loss == pytest.approx(slow_loss, abs=1e-8)
+
 
 @settings(max_examples=20, deadline=None)
 @given(

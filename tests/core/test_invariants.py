@@ -1,7 +1,6 @@
 """Property-based tests for FOCUS core invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp

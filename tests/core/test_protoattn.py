@@ -92,6 +92,117 @@ class TestLinearComplexity:
             assert layer.last_attention_.shape == (1, 4, length)
 
 
+class TestQueryCache:
+    """C_Q = W_E(C) is cached between inference forwards."""
+
+    def test_populated_under_no_grad(self, rng):
+        layer = make_layer(rng)
+        x = rng.standard_normal((2, 5, 6))
+        assert layer._query_cache is None
+        with ag.no_grad():
+            layer(ag.Tensor(x))
+        assert layer._query_cache is not None
+
+    def test_grad_enabled_forward_bypasses_cache(self, rng):
+        """Training forwards must build the W_E graph, not serve a cache."""
+        layer = make_layer(rng)
+        layer(ag.Tensor(rng.standard_normal((2, 5, 6))))
+        assert layer._query_cache is None
+
+    def test_cached_output_identical_to_fresh(self, rng):
+        layer = make_layer(rng)
+        x = rng.standard_normal((2, 5, 6))
+        with ag.no_grad():
+            first = layer(ag.Tensor(x)).data  # populates the cache
+            cached = layer(ag.Tensor(x)).data  # served from the cache
+        layer.invalidate_cache()
+        with ag.no_grad():
+            fresh = layer(ag.Tensor(x)).data
+        assert np.array_equal(first, cached)
+        assert np.array_equal(cached, fresh)
+
+    def test_inplace_weight_mutation_detected(self, rng):
+        """Optimizer steps mutate W_E in place; the cache must notice."""
+        layer = make_layer(rng)
+        x = rng.standard_normal((2, 5, 6))
+        with ag.no_grad():
+            stale = layer(ag.Tensor(x)).data
+        layer.w_e.weight.data += 0.5  # in-place, object identity unchanged
+        with ag.no_grad():
+            updated = layer(ag.Tensor(x)).data
+        layer.invalidate_cache()
+        with ag.no_grad():
+            fresh = layer(ag.Tensor(x)).data
+        assert not np.array_equal(stale, updated)
+        assert np.array_equal(updated, fresh)
+
+    def test_inplace_prototype_mutation_detected(self, rng):
+        """Streaming adaptation rewrites prototype rows in place."""
+        layer = make_layer(rng)
+        x = rng.standard_normal((2, 5, 6))
+        with ag.no_grad():
+            layer(ag.Tensor(x))
+        layer.prototypes[0] += 3.0
+        with ag.no_grad():
+            updated = layer(ag.Tensor(x)).data
+        layer.invalidate_cache()
+        with ag.no_grad():
+            fresh = layer(ag.Tensor(x)).data
+        assert np.array_equal(updated, fresh)
+
+    def test_load_state_dict_served_correctly(self, rng):
+        """Weights restored via load_state_dict must not be shadowed by a
+        projection cached from the previous weights."""
+        layer = make_layer(rng)
+        x = rng.standard_normal((2, 5, 6))
+        state = layer.state_dict()
+        with ag.no_grad():
+            before = layer(ag.Tensor(x)).data
+        layer.w_e.weight.data += 1.0
+        with ag.no_grad():
+            layer(ag.Tensor(x))  # caches the perturbed projection
+        layer.load_state_dict(state)
+        with ag.no_grad():
+            restored = layer(ag.Tensor(x)).data
+        assert np.array_equal(restored, before)
+
+
+class TestFlopAccounting:
+    """proto_assignment cost depends on whether Pearson is computed."""
+
+    def _assignment_flops(self, rng, alpha, batch=2, length=10, k=4, p=6):
+        from repro.profiling import count_ops
+
+        layer = make_layer(rng, k=k, p=p, alpha=alpha)
+        x = ag.Tensor(rng.standard_normal((batch, length, p)))
+        with ag.no_grad(), count_ops() as counter:
+            layer(x)
+        return counter.per_op_flops["proto_assignment"]
+
+    def test_euclidean_only_charges_one_gemm(self, rng):
+        batch, length, k, p = 2, 10, 4, 6
+        flops = self._assignment_flops(rng, alpha=0.0, batch=batch, length=length, k=k, p=p)
+        assert flops == 2 * batch * length * k * p
+
+    def test_correlation_charges_second_gemm(self, rng):
+        batch, length, k, p = 2, 10, 4, 6
+        flops = self._assignment_flops(rng, alpha=0.2, batch=batch, length=length, k=k, p=p)
+        assert flops == 4 * batch * length * k * p
+
+    def test_profiled_forward_matches_unprofiled(self, rng):
+        """Profiling recomputes C_Q (deterministic accounting) but the
+        numbers must match the cached inference path exactly."""
+        from repro.profiling import count_ops
+
+        layer = make_layer(rng)
+        x = rng.standard_normal((2, 5, 6))
+        with ag.no_grad():
+            cached = layer(ag.Tensor(x)).data
+        with ag.no_grad(), count_ops():
+            profiled = layer(ag.Tensor(x)).data
+        assert np.array_equal(cached, profiled)
+
+
 class TestDependencyMatrix:
     def test_shape_and_rows(self, rng):
         layer = make_layer(rng)

@@ -63,6 +63,49 @@ class TestBuffering:
         stream.observe_many(rng.standard_normal((10, 3)))
         assert stream.stats.observations == 10
 
+    def test_observe_many_rejects_wrong_block_shape(self, rng):
+        stream = StreamingFOCUS(make_model(rng))
+        with pytest.raises(ValueError, match="block"):
+            stream.observe_many(np.zeros((10, 5)))
+
+    def test_ring_matches_roll_reference(self, rng):
+        """The ring buffer must be observably identical to the old
+        np.roll-based buffer at every step, including before fill."""
+        model = make_model(rng)
+        stream = StreamingFOCUS(model)
+        lookback = model.config.lookback
+        reference = np.zeros((lookback, 3))
+        for step in range(2 * lookback + 5):
+            row = rng.standard_normal(3)
+            stream.observe(row)
+            reference = np.roll(reference, -1, axis=0)
+            reference[-1] = row
+            assert np.array_equal(stream._buffer, reference), f"step {step}"
+
+    def test_observe_many_matches_single_observes(self, rng):
+        model = make_model(rng)
+        chunked = StreamingFOCUS(model)
+        stepped = StreamingFOCUS(model)
+        data = rng.standard_normal((57, 3))
+        # Partial fill, a wrapping chunk, and a chunk longer than lookback.
+        for start, end in ((0, 17), (17, 29), (29, 57)):
+            chunked.observe_many(data[start:end])
+        for row in data:
+            stepped.observe(row)
+        assert np.array_equal(chunked._buffer, stepped._buffer)
+        assert chunked.stats.observations == stepped.stats.observations == 57
+
+    def test_observe_does_not_reallocate_storage(self, rng):
+        """observe() is an O(N) row write into fixed storage — the ring
+        array object must never be replaced (the old implementation
+        rebuilt the full (L, N) buffer with np.roll on every step)."""
+        stream = StreamingFOCUS(make_model(rng))
+        storage = stream._ring
+        stream.observe_many(rng.standard_normal((60, 3)))
+        for _ in range(10):
+            stream.observe(rng.standard_normal(3))
+        assert stream._ring is storage
+
 
 class TestAdaptation:
     def test_disabled_by_default(self, rng):
@@ -110,6 +153,41 @@ class TestAdaptation:
             model.extractor.temporal_mixer.prototypes,
             model.extractor.entity_mixer.prototypes,
         )
+
+    def test_first_block_has_no_baseline(self, rng):
+        """With an empty distance history there is no median to compare
+        against, so even a wild first segment cannot be flagged novel."""
+        model = make_model(rng)
+        stream = StreamingFOCUS(model, adapt_prototypes=True, ema=0.2)
+        stream.observe_many(50.0 + 10.0 * rng.standard_normal((6, 3)))
+        assert stream.stats.novel_segments == 0
+        assert stream.stats.prototype_updates == 0
+
+    def test_burst_judged_against_prior_history_only(self, rng):
+        """Regression: the novelty median must exclude the current block.
+
+        One calm block establishes the baseline (3 history entries), then
+        a drift burst arrives.  If the burst's own distances were folded
+        into the median *before* the comparison — as the seed code did —
+        the median of {3 calm, 3 burst} values lands near burst/2, so at
+        the default 4x threshold the burst suppresses its own detection.
+        """
+        model = make_model(rng)
+        stream = StreamingFOCUS(model, adapt_prototypes=True, ema=0.1)
+        assert stream.novelty_threshold == 4.0
+        calm = 0.01 * rng.standard_normal((6, 3))
+        stream.observe_many(calm)  # first adapt call: empty history, no-op
+        assert stream.stats.novel_segments == 0
+        burst = 80.0 + rng.standard_normal((6, 3))
+        stream.observe_many(burst)
+        assert stream.stats.novel_segments == 3
+        assert stream.stats.prototype_updates == 3
+
+    def test_history_capped(self, rng):
+        model = make_model(rng)
+        stream = StreamingFOCUS(model, adapt_prototypes=True)
+        stream.observe_many(rng.standard_normal((3000, 3)))
+        assert len(stream._distance_history) <= 1024
 
     def test_parameter_validation(self, rng):
         with pytest.raises(ValueError, match="novelty_threshold"):

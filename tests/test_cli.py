@@ -14,7 +14,14 @@ class TestParser:
             for action in parser._actions
             if hasattr(action, "choices") and action.choices
         )
-        assert set(sub.choices) == {"datasets", "cluster", "run", "profile", "compare"}
+        assert set(sub.choices) == {
+            "datasets",
+            "cluster",
+            "run",
+            "profile",
+            "compare",
+            "bench",
+        }
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -90,3 +97,22 @@ class TestCommands:
         )
         assert code == 0
         assert "comparison" in capsys.readouterr().out
+
+    def test_bench_quick_writes_report(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "bench.json")
+        assert main(["bench", "--quick", "--out", path]) == 0
+        out = capsys.readouterr().out
+        assert "clustering fit" in out and "streaming" in out
+        with open(path) as handle:
+            report = json.load(handle)
+        assert report["mode"] == "quick"
+        assert report["clustering_fit"]["equivalent_1e8"] is True
+        assert report["clustering_fit"]["speedup"] > 0
+        assert report["streaming"]["observe_per_s"] > 0
+
+    def test_bench_no_out_skips_writing(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--quick", "--out", ""]) == 0
+        assert not (tmp_path / "BENCH_hotpath.json").exists()

@@ -2,11 +2,10 @@
 
 import dataclasses
 
-import numpy as np
 import pytest
 
 from repro.data import load_dataset
-from repro.training import ExperimentConfig, TrainerConfig, build_model
+from repro.training import ExperimentConfig, build_model
 from repro.training.experiment import FOCUS_VARIANTS
 
 

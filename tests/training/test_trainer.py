@@ -49,6 +49,36 @@ class TestTrainer:
         restored = trainer.validation_loss(val)
         assert restored == pytest.approx(history.best_val_loss, rel=1e-6)
 
+    def test_restore_best_does_not_alias_live_state_dict(self, datasets):
+        """Regression: the best-state snapshot must be deep-copied.
+
+        ``state_dict`` makes no ownership guarantee — torch-style
+        implementations return references to the live parameter arrays,
+        and this engine's optimizers mutate parameters in place.  Without
+        a deep copy at save time the "best" snapshot silently tracks the
+        final weights.
+        """
+
+        class LiveStateDLinear(DLinear):
+            def state_dict(self):
+                state = {name: param.data for name, param in self.named_parameters()}
+                for name, buf in self.named_buffers():
+                    state[f"{name}__buffer"] = buf
+                return state
+
+        train, val = datasets
+        nn.init.seed(0)
+        model = LiveStateDLinear(24, 6, 2)
+        # A large learning rate makes validation deteriorate after its
+        # early best, so training continues past the best epoch.
+        trainer = Trainer(model, TrainerConfig(epochs=4, batch_size=16, lr=0.5, patience=99))
+        history = trainer.fit(train, val)
+        assert history.best_epoch < len(history.val_losses) - 1, (
+            "test setup must train past the best epoch"
+        )
+        restored = trainer.validation_loss(val)
+        assert restored == pytest.approx(history.best_val_loss, rel=1e-9)
+
     def test_early_stopping_respects_patience(self, datasets):
         train, val = datasets
         nn.init.seed(0)

@@ -5,7 +5,7 @@ import pytest
 
 from repro.data import load_dataset
 from repro.training import TrainerConfig
-from repro.training.tuning import GridSearchResult, Trial, grid_search
+from repro.training.tuning import grid_search
 
 
 @pytest.fixture(scope="module")
