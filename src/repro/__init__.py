@@ -14,6 +14,9 @@ the paper depends on:
 - ``repro.training`` / ``repro.profiling`` / ``repro.analysis`` — the
   training loop, the FLOPs/memory/parameter accounting used by the paper's
   efficiency figures, and the analysis tooling behind its case studies.
+- ``repro.robustness`` — fault tolerance for both phases: crash-safe
+  checkpoints, serving health/guardrails, degraded-mode fallbacks, and a
+  deterministic fault-injection harness.
 
 See ``DESIGN.md`` for the full system inventory and per-experiment index.
 """
@@ -30,4 +33,5 @@ __all__ = [
     "training",
     "profiling",
     "analysis",
+    "robustness",
 ]

@@ -96,6 +96,9 @@ def _cmd_run(args) -> int:
             patience=99,
             restore_best=False,
             verbose=True,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
         ),
     )
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
@@ -219,6 +222,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--epochs", type=int, default=6)
     run.add_argument("--batch-size", type=int, default=32)
     run.add_argument("--lr", type=float, default=5e-3)
+    run.add_argument(
+        "--checkpoint-dir", default=None,
+        help="directory for crash-safe training checkpoints (enables "
+             "loss-spike rollback + LR halving)",
+    )
+    run.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="checkpoint cadence in epochs (with --checkpoint-dir)",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="resume from the newest valid checkpoint in --checkpoint-dir",
+    )
     run.set_defaults(func=_cmd_run)
 
     profile = sub.add_parser("profile", help="analytic FLOPs/memory/params")

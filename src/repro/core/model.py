@@ -167,6 +167,17 @@ class FOCUSForecaster(Module):
                     mixer.invalidate_cache()
         self._has_prototypes = True
 
+    def prototype_values(self) -> np.ndarray | None:
+        """The live ``(k, p)`` prototype dictionary, or ``None`` when the
+        active mixer is prototype-free (``"attn"`` / ``"linear"``).
+
+        Used by streaming guardrails for prototype-mean imputation.
+        """
+        prototypes = getattr(self.extractor.temporal_mixer, "prototypes", None)
+        if prototypes is None:
+            return None
+        return np.asarray(prototypes)
+
     def update_prototype(self, index: int, value: np.ndarray) -> None:
         """Overwrite one prototype row in place (both mixers stay in sync).
 

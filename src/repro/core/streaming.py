@@ -13,6 +13,25 @@ Sec. VIII-D phenomenon).  :class:`StreamingFOCUS` provides both pieces:
   exceeds a drift threshold, the nearest prototype is nudged toward the
   segment with an exponential moving average, keeping the offline
   dictionary fresh without re-clustering.
+
+Long-lived operation additionally requires surviving bad inputs and
+bad model outputs, so the wrapper is hardened end to end:
+
+- **Ingestion guardrails** — every observation passes through a
+  configurable NaN policy (``reject`` / ``impute_last`` /
+  ``impute_prototype``, see
+  :func:`repro.robustness.health.apply_nan_policy`) before touching
+  the ring, so the buffer only ever holds finite values.
+- **Degraded-mode forecasting** — if the model forward raises or
+  returns non-finite values, :meth:`forecast` answers from a
+  model-free fallback (persistence or seasonal-naive) instead of
+  propagating the failure; the result is always finite and its
+  provenance is recorded in ``stats.last_forecast_source``.
+- **Health state machine** — per-forecast outcomes drive a
+  ``HEALTHY → DEGRADED → FAILED`` monitor
+  (:class:`repro.robustness.health.HealthMonitor`), exposed through
+  :attr:`health` and mirrored into :class:`StreamingStats` for
+  monitoring.
 """
 
 from __future__ import annotations
@@ -25,6 +44,13 @@ from repro import autograd as ag
 from repro.autograd import Tensor
 from repro.core.clustering import composite_distance
 from repro.core.model import FOCUSForecaster
+from repro.robustness.fallback import persistence_forecast, seasonal_naive_forecast
+from repro.robustness.health import (
+    NAN_POLICIES,
+    HealthMonitor,
+    HealthState,
+    apply_nan_policy,
+)
 
 
 @dataclasses.dataclass
@@ -35,6 +61,13 @@ class StreamingStats:
     forecasts: int = 0
     novel_segments: int = 0
     prototype_updates: int = 0
+    # Guardrail and degraded-mode counters.
+    rejected_observations: int = 0
+    imputed_values: int = 0
+    model_failures: int = 0
+    fallback_forecasts: int = 0
+    health: str = HealthState.HEALTHY.value
+    last_forecast_source: str = ""
 
 
 class StreamingFOCUS:
@@ -51,6 +84,21 @@ class StreamingFOCUS:
         exceeds ``novelty_threshold`` times the running median distance.
     ema:
         Step size of the prototype nudge (0 disables movement).
+    nan_policy:
+        What to do with non-finite observations before they enter the
+        ring buffer: ``"reject"`` drops the offending rows (counted in
+        ``stats.rejected_observations``), ``"impute_last"``
+        forward-fills per entity, ``"impute_prototype"`` substitutes
+        the prototype-dictionary mean.
+    fallback:
+        Degraded-mode forecaster used when the model fails:
+        ``"persistence"`` or ``"seasonal"`` (requires
+        ``seasonal_period``).
+    seasonal_period:
+        Season length (in steps) for the seasonal-naive fallback.
+    fail_threshold / recover_after:
+        Consecutive-failure count that marks the stream ``FAILED``, and
+        consecutive-success count that restores ``HEALTHY``.
     """
 
     def __init__(
@@ -59,16 +107,34 @@ class StreamingFOCUS:
         adapt_prototypes: bool = False,
         novelty_threshold: float = 4.0,
         ema: float = 0.05,
+        nan_policy: str = "reject",
+        fallback: str = "persistence",
+        seasonal_period: int | None = None,
+        fail_threshold: int = 5,
+        recover_after: int = 3,
     ):
         if novelty_threshold <= 1.0:
             raise ValueError("novelty_threshold must exceed 1")
         if not 0.0 <= ema < 1.0:
             raise ValueError("ema must lie in [0, 1)")
+        if nan_policy not in NAN_POLICIES:
+            raise ValueError(
+                f"unknown nan_policy {nan_policy!r}; choose from {NAN_POLICIES}"
+            )
+        if fallback not in ("persistence", "seasonal"):
+            raise ValueError(
+                f"unknown fallback {fallback!r}; choose 'persistence' or 'seasonal'"
+            )
+        if fallback == "seasonal" and (seasonal_period is None or seasonal_period < 1):
+            raise ValueError("the seasonal fallback requires a positive seasonal_period")
         self.model = model
         self.model.eval()
         self.adapt_prototypes = adapt_prototypes
         self.novelty_threshold = novelty_threshold
         self.ema = ema
+        self.nan_policy = nan_policy
+        self.fallback = fallback
+        self.seasonal_period = seasonal_period
         config = model.config
         # True ring buffer: ``_ring`` is fixed storage, ``_head`` the next
         # write slot.  ``observe`` is an O(N) row write — the O(L·N) copy
@@ -77,6 +143,9 @@ class StreamingFOCUS:
         self._head = 0
         self._filled = 0
         self._distance_history: list[float] = []
+        self._health = HealthMonitor(
+            fail_threshold=fail_threshold, recover_after=recover_after
+        )
         self.stats = StreamingStats()
 
     @property
@@ -85,14 +154,21 @@ class StreamingFOCUS:
         return self._filled >= self.model.config.lookback
 
     @property
+    def health(self) -> HealthState:
+        """Current serving-health state of the stream."""
+        return self._health.state
+
+    @property
     def _buffer(self) -> np.ndarray:
         """The lookback window in chronological order (oldest first).
 
         Materialized on demand; slots not yet overwritten hold zeros, as
-        in the previous roll-based buffer.
+        in the previous roll-based buffer.  Always a fresh copy — never
+        the live ring storage — so callers holding the result do not see
+        it mutate on the next :meth:`observe`.
         """
         if self._head == 0:
-            return self._ring
+            return self._ring.copy()
         return np.concatenate([self._ring[self._head :], self._ring[: self._head]])
 
     def _recent(self, steps: int) -> np.ndarray:
@@ -101,14 +177,52 @@ class StreamingFOCUS:
         indices = (self._head - steps + np.arange(steps)) % lookback
         return self._ring[indices]
 
+    # ------------------------------------------------------------------
+    # Ingestion guardrails
+    # ------------------------------------------------------------------
+    def _imputation_fill(self) -> float:
+        """Scalar fill for prototype-mean imputation (0 without prototypes)."""
+        values = getattr(self.model, "prototype_values", None)
+        prototypes = values() if callable(values) else None
+        if prototypes is None or prototypes.size == 0:
+            return 0.0
+        return float(np.mean(prototypes))
+
+    def _last_written_row(self) -> np.ndarray | None:
+        if self._filled == 0:
+            return None
+        lookback = self.model.config.lookback
+        return self._ring[(self._head - 1) % lookback]
+
+    def _guard_block(self, block: np.ndarray) -> np.ndarray:
+        """Apply the NaN policy to a ``(T, N)`` block before insertion."""
+        clean, imputed, rejected = apply_nan_policy(
+            block,
+            self.nan_policy,
+            last_row=self._last_written_row(),
+            fill_value=self._imputation_fill() if self.nan_policy == "impute_prototype" else 0.0,
+        )
+        self.stats.imputed_values += imputed
+        self.stats.rejected_observations += rejected
+        return clean
+
     def observe(self, observation: np.ndarray) -> None:
-        """Push one time step of ``(N,)`` values into the buffer."""
+        """Push one time step of ``(N,)`` values into the buffer.
+
+        Non-finite values are handled per ``nan_policy``; under
+        ``"reject"`` a bad observation is dropped entirely (the ring and
+        the ``observations`` counter are untouched).
+        """
         observation = np.asarray(observation, dtype=np.float64)
         if observation.shape != (self.model.config.num_entities,):
             raise ValueError(
                 f"expected ({self.model.config.num_entities},) observation, "
                 f"got {observation.shape}"
             )
+        guarded = self._guard_block(observation[None])
+        if len(guarded) == 0:
+            return
+        observation = guarded[0]
         lookback = self.model.config.lookback
         self._ring[self._head] = observation
         self._head = (self._head + 1) % lookback
@@ -132,6 +246,7 @@ class StreamingFOCUS:
                 f"expected (T, {self.model.config.num_entities}) block, "
                 f"got {observations.shape}"
             )
+        observations = self._guard_block(observations)
         total = len(observations)
         if total == 0:
             return
@@ -145,16 +260,52 @@ class StreamingFOCUS:
         self._filled = min(self._filled + total, lookback)
         self.stats.observations += total
 
+    # ------------------------------------------------------------------
+    # Forecasting (with degraded-mode fallback)
+    # ------------------------------------------------------------------
+    def _fallback_forecast(self, window: np.ndarray) -> np.ndarray:
+        horizon = self.model.config.horizon
+        if self.fallback == "seasonal":
+            return seasonal_naive_forecast(window, horizon, self.seasonal_period)
+        return persistence_forecast(window, horizon)
+
     def forecast(self) -> np.ndarray:
-        """Forecast the next ``horizon`` steps from the current buffer."""
+        """Forecast the next ``horizon`` steps from the current buffer.
+
+        Guaranteed to return a finite ``(horizon, N)`` array: when the
+        model forward raises or emits non-finite values the configured
+        fallback answers instead, the health monitor records the
+        failure, and ``stats.last_forecast_source`` flags the forecast
+        as ``"fallback:<kind>"`` rather than ``"model"``.
+        """
         if not self.ready:
             raise RuntimeError(
                 f"need {self.model.config.lookback} observations, have {self._filled}"
             )
-        with ag.no_grad():
-            prediction = self.model(Tensor(self._buffer[None]))
+        window = self._buffer
+        failure = None
+        prediction = None
+        try:
+            with ag.no_grad():
+                prediction = np.asarray(
+                    self.model(Tensor(window[None])).data[0], dtype=np.float64
+                )
+            if not np.isfinite(prediction).all():
+                failure = "non-finite model output"
+        except Exception as error:  # noqa: BLE001 — serving must not crash
+            failure = f"model forward raised {type(error).__name__}: {error}"
         self.stats.forecasts += 1
-        return prediction.data[0]
+        if failure is None:
+            self._health.record_success()
+            self.stats.health = self._health.state.value
+            self.stats.last_forecast_source = "model"
+            return prediction
+        self.stats.model_failures += 1
+        self.stats.fallback_forecasts += 1
+        self._health.record_failure(failure)
+        self.stats.health = self._health.state.value
+        self.stats.last_forecast_source = f"fallback:{self.fallback}"
+        return self._fallback_forecast(window)
 
     # ------------------------------------------------------------------
     # Prototype adaptation

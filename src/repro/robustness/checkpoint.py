@@ -1,0 +1,158 @@
+"""Crash-safe training checkpoints.
+
+A checkpoint is a single ``.npz`` archive holding flat ndarrays (model
+parameters, optimizer moments) plus a JSON metadata entry (epoch
+counters, learning rate, RNG states, training history).  Three
+guarantees make it production-safe:
+
+- **Atomicity** — the archive is written to a temporary file in the
+  same directory and moved into place with :func:`os.replace`, so a
+  crash mid-write never leaves a half-written checkpoint under the
+  final name.
+- **Corruption detection** — a SHA-256 checksum over every entry is
+  stored inside the archive; :meth:`CheckpointManager.load` recomputes
+  and compares it, raising :class:`CheckpointCorruptionError` on any
+  mismatch (bit flips, truncation, bad zip).
+- **Retention with fallback** — only the newest ``keep`` checkpoints
+  are kept on disk, and :meth:`CheckpointManager.load_latest` walks
+  from newest to oldest, skipping corrupt files, so a corrupted final
+  checkpoint degrades to the previous good one instead of killing the
+  resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+from pathlib import Path
+
+import numpy as np
+
+CHECKSUM_KEY = "__checksum__"
+_FILENAME_RE = re.compile(r"^ckpt_epoch(\d{6})\.npz$")
+
+
+class CheckpointCorruptionError(RuntimeError):
+    """Raised when a checkpoint fails its integrity check."""
+
+
+def state_checksum(arrays: dict[str, np.ndarray]) -> str:
+    """Deterministic SHA-256 over a flat dict of ndarrays.
+
+    Covers names, dtypes, shapes, and raw bytes, so any corruption of
+    the stored payload changes the digest.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        value = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(value.dtype).encode("utf-8"))
+        digest.update(str(value.shape).encode("utf-8"))
+        digest.update(value.tobytes())
+    return digest.hexdigest()
+
+
+class CheckpointManager:
+    """Atomic, checksummed, retained-last-N checkpoint files.
+
+    The manager is payload-agnostic: it stores whatever flat dict of
+    ndarrays the caller hands it (the :class:`~repro.training.Trainer`
+    packs model/optimizer/RNG/history state into one).
+    """
+
+    def __init__(self, directory: str | os.PathLike, keep: int = 3):
+        if keep < 1:
+            raise ValueError("keep must be at least 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path_for(self, epoch: int) -> Path:
+        return self.directory / f"ckpt_epoch{epoch:06d}.npz"
+
+    def list_checkpoints(self) -> list[tuple[int, Path]]:
+        """All checkpoint files present, sorted oldest to newest."""
+        found = []
+        for path in self.directory.iterdir():
+            match = _FILENAME_RE.match(path.name)
+            if match:
+                found.append((int(match.group(1)), path))
+        return sorted(found)
+
+    def has_checkpoint(self) -> bool:
+        return bool(self.list_checkpoints())
+
+    # ------------------------------------------------------------------
+    # Save / load
+    # ------------------------------------------------------------------
+    def save(self, arrays: dict[str, np.ndarray], epoch: int) -> Path:
+        """Atomically write one checkpoint and prune old ones."""
+        if CHECKSUM_KEY in arrays:
+            raise ValueError(f"{CHECKSUM_KEY!r} is a reserved entry name")
+        payload = {name: np.asarray(value) for name, value in arrays.items()}
+        payload[CHECKSUM_KEY] = np.array(state_checksum(payload))
+        final = self.path_for(epoch)
+        tmp = final.with_name(final.name + f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez_compressed(handle, **payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, final)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        self._prune()
+        return final
+
+    def load(self, path: str | os.PathLike) -> dict[str, np.ndarray]:
+        """Load and integrity-check one checkpoint file."""
+        try:
+            # Own the file handle: np.load leaks it when the archive fails
+            # to parse, which shows up as a ResourceWarning.
+            with open(path, "rb") as handle:
+                with np.load(handle, allow_pickle=False) as archive:
+                    arrays = {name: archive[name] for name in archive.files}
+        # Corrupted bytes surface as whatever the zip/npy parsers choke
+        # on (BadZipFile, NotImplementedError, struct.error, EOFError,
+        # ...) — this is an integrity boundary, so catch broadly and
+        # re-raise as one typed error.
+        except Exception as error:  # noqa: BLE001
+            raise CheckpointCorruptionError(
+                f"unreadable checkpoint {path}: {error}"
+            ) from error
+        stored = arrays.pop(CHECKSUM_KEY, None)
+        if stored is None:
+            raise CheckpointCorruptionError(f"checkpoint {path} has no checksum entry")
+        actual = state_checksum(arrays)
+        if str(stored) != actual:
+            raise CheckpointCorruptionError(
+                f"checksum mismatch in {path}: stored {str(stored)[:12]}…, "
+                f"recomputed {actual[:12]}…"
+            )
+        return arrays
+
+    def load_latest(self) -> tuple[int, dict[str, np.ndarray]] | None:
+        """Newest *valid* checkpoint, or ``None`` if none loads cleanly.
+
+        Corrupt files are skipped (newest-first), so one bad write does
+        not strand the run.
+        """
+        for epoch, path in reversed(self.list_checkpoints()):
+            try:
+                return epoch, self.load(path)
+            except CheckpointCorruptionError:
+                continue
+        return None
+
+    def _prune(self) -> None:
+        checkpoints = self.list_checkpoints()
+        for _, path in checkpoints[: -self.keep]:
+            try:
+                path.unlink()
+            except OSError:
+                pass

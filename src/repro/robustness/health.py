@@ -1,0 +1,122 @@
+"""Serving-path health tracking and input guardrails.
+
+Two pieces used by :class:`repro.core.streaming.StreamingFOCUS`:
+
+- :class:`HealthMonitor` — a three-state machine
+  (``HEALTHY → DEGRADED → FAILED``) driven by per-forecast outcomes.
+  Any model failure degrades a healthy stream immediately; a streak of
+  ``fail_threshold`` consecutive failures marks it failed; recovery
+  climbs back one rung at a time (``FAILED → DEGRADED`` on the first
+  success, ``DEGRADED → HEALTHY`` after ``recover_after`` consecutive
+  successes).
+- :func:`apply_nan_policy` — the ingestion guard that decides what to
+  do with non-finite observations before they reach the ring buffer.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+NAN_POLICIES = ("reject", "impute_last", "impute_prototype")
+
+
+class HealthState(str, enum.Enum):
+    """Coarse serving-health states exposed for monitoring."""
+
+    HEALTHY = "HEALTHY"
+    DEGRADED = "DEGRADED"
+    FAILED = "FAILED"
+
+
+class HealthMonitor:
+    """Streak-driven state machine over per-forecast success/failure."""
+
+    def __init__(self, fail_threshold: int = 5, recover_after: int = 3):
+        if fail_threshold < 1:
+            raise ValueError("fail_threshold must be at least 1")
+        if recover_after < 1:
+            raise ValueError("recover_after must be at least 1")
+        self.fail_threshold = fail_threshold
+        self.recover_after = recover_after
+        self.state = HealthState.HEALTHY
+        self.transitions: list[tuple[str, str, str]] = []
+        self._fail_streak = 0
+        self._ok_streak = 0
+
+    def _set(self, state: HealthState, reason: str) -> None:
+        if state is not self.state:
+            self.transitions.append((self.state.value, state.value, reason))
+            self.state = state
+
+    def record_success(self) -> HealthState:
+        self._fail_streak = 0
+        self._ok_streak += 1
+        if self.state is HealthState.FAILED:
+            self._set(HealthState.DEGRADED, "first success after failure")
+        elif self.state is HealthState.DEGRADED and self._ok_streak >= self.recover_after:
+            self._set(HealthState.HEALTHY, f"{self._ok_streak} consecutive successes")
+        return self.state
+
+    def record_failure(self, reason: str = "model failure") -> HealthState:
+        self._ok_streak = 0
+        self._fail_streak += 1
+        if self.state is HealthState.HEALTHY:
+            self._set(HealthState.DEGRADED, reason)
+        elif (
+            self.state is HealthState.DEGRADED
+            and self._fail_streak >= self.fail_threshold
+        ):
+            self._set(
+                HealthState.FAILED, f"{self._fail_streak} consecutive failures"
+            )
+        return self.state
+
+
+def apply_nan_policy(
+    block: np.ndarray,
+    policy: str,
+    last_row: np.ndarray | None = None,
+    fill_value: float = 0.0,
+) -> tuple[np.ndarray, int, int]:
+    """Guard a ``(T, N)`` block of observations against non-finite values.
+
+    Returns ``(clean_block, imputed_values, rejected_rows)`` where
+    ``clean_block`` contains only finite values:
+
+    - ``"reject"`` — drop every row containing a non-finite entry;
+    - ``"impute_last"`` — forward-fill each bad entry from the most
+      recent finite value of the same entity (seeded by ``last_row``,
+      the last row already in the buffer; ``fill_value`` when there is
+      no history yet);
+    - ``"impute_prototype"`` — replace bad entries with ``fill_value``
+      (the caller passes the prototype-dictionary mean).
+
+    The fast path (fully finite block) returns the input unchanged.
+    """
+    if policy not in NAN_POLICIES:
+        raise ValueError(f"unknown NaN policy {policy!r}; choose from {NAN_POLICIES}")
+    finite = np.isfinite(block)
+    if finite.all():
+        return block, 0, 0
+    if policy == "reject":
+        keep = finite.all(axis=1)
+        return block[keep], 0, int((~keep).sum())
+    clean = block.copy()
+    bad_total = int((~finite).sum())
+    if policy == "impute_prototype":
+        clean[~finite] = fill_value
+        return clean, bad_total, 0
+    # impute_last: per-entity forward fill, seeded by the buffer's last row.
+    previous = (
+        np.full(block.shape[1], fill_value, dtype=np.float64)
+        if last_row is None
+        else np.where(np.isfinite(last_row), last_row, fill_value)
+    )
+    for t in range(len(clean)):
+        bad = ~finite[t]
+        if bad.any():
+            clean[t, bad] = previous[bad]
+        previous = clean[t]
+    return clean, bad_total, 0

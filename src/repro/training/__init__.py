@@ -1,7 +1,12 @@
 """Training loop, metrics, and the experiment runner used by benchmarks."""
 
 from repro.training.metrics import evaluate_forecast, mae, mape, mse, rmse
-from repro.training.trainer import Trainer, TrainerConfig, TrainingHistory
+from repro.training.trainer import (
+    NonFiniteLossError,
+    Trainer,
+    TrainerConfig,
+    TrainingHistory,
+)
 from repro.training.experiment import (
     ExperimentConfig,
     ExperimentResult,
@@ -22,6 +27,7 @@ __all__ = [
     "rmse",
     "mape",
     "evaluate_forecast",
+    "NonFiniteLossError",
     "Trainer",
     "TrainerConfig",
     "TrainingHistory",

@@ -1,8 +1,26 @@
-"""Minibatch trainer with validation-based early stopping."""
+"""Minibatch trainer with validation-based early stopping.
+
+Fault tolerance (opt-in via ``TrainerConfig.checkpoint_dir``):
+
+- every ``checkpoint_every`` epochs the full training state — model,
+  optimizer moments, data-order and dropout RNG, epoch counters, and
+  history — is written atomically through
+  :class:`~repro.robustness.checkpoint.CheckpointManager`;
+- ``resume=True`` restores the newest valid checkpoint and continues,
+  reproducing the exact same per-epoch losses an uninterrupted run
+  would have produced;
+- a non-finite (or, with a checkpoint available, exploding) training
+  loss triggers *loss-spike recovery*: roll back to the last good
+  checkpoint, halve the learning rate, and retry — up to
+  ``max_recovery_retries`` times per fit — instead of aborting the
+  run.  Without a checkpoint the historical hard failure
+  (:class:`NonFiniteLossError`) is preserved.
+"""
 
 from __future__ import annotations
 
 import dataclasses
+import json
 import time
 
 import numpy as np
@@ -11,8 +29,14 @@ from repro import autograd as ag
 from repro.autograd import Tensor
 from repro.data.windows import DataLoader, SlidingWindowDataset
 from repro.nn import Module
+from repro.nn import init as nn_init
 from repro.optim import AdamW, clip_grad_norm
+from repro.robustness.checkpoint import CheckpointManager
 from repro.training.metrics import evaluate_forecast
+
+
+class NonFiniteLossError(RuntimeError):
+    """Raised when training diverges and no recovery path is available."""
 
 
 @dataclasses.dataclass
@@ -29,6 +53,15 @@ class TrainerConfig:
     restore_best: bool = True
     seed: int = 0
     verbose: bool = False
+    # Fault tolerance (all inert unless checkpoint_dir is set).
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1
+    resume: bool = False
+    keep_checkpoints: int = 3
+    max_recovery_retries: int = 3
+    # A finite epoch loss this many times the best epoch loss so far is
+    # treated as a spike (recovery only; never a hard failure).
+    loss_explosion_factor: float = 1e4
 
 
 @dataclasses.dataclass
@@ -39,6 +72,8 @@ class TrainingHistory:
     val_losses: list[float] = dataclasses.field(default_factory=list)
     best_epoch: int = -1
     train_seconds: float = 0.0
+    # One entry per loss-spike rollback: epoch, restored_epoch, reason, lr.
+    recoveries: list[dict] = dataclasses.field(default_factory=list)
 
     @property
     def best_val_loss(self) -> float:
@@ -68,7 +103,7 @@ class Trainer:
             pred = self.model(Tensor(x_batch))
             loss = ((pred - Tensor(y_batch)) ** 2.0).mean()
             if not np.isfinite(loss.item()):
-                raise RuntimeError(
+                raise NonFiniteLossError(
                     f"non-finite training loss ({loss.item()}) at batch {batches}; "
                     "check the learning rate and input normalization"
                 )
@@ -94,6 +129,102 @@ class Trainer:
                     break
         return total / max(batches, 1)
 
+    # ------------------------------------------------------------------
+    # Checkpoint packing / unpacking
+    # ------------------------------------------------------------------
+    def _pack_checkpoint(
+        self,
+        epoch: int,
+        history: TrainingHistory,
+        best_state: dict[str, np.ndarray] | None,
+        bad_epochs: int,
+        loader: DataLoader,
+        prior_seconds: float,
+        started: float,
+    ) -> dict[str, np.ndarray]:
+        arrays: dict[str, np.ndarray] = {
+            f"model/{name}": value for name, value in self.model.state_dict().items()
+        }
+        opt = self.optimizer
+        if hasattr(opt, "_m"):
+            for i, moment in enumerate(opt._m):
+                arrays[f"optim/m/{i}"] = moment
+            for i, moment in enumerate(opt._v):
+                arrays[f"optim/v/{i}"] = moment
+        if best_state is not None:
+            arrays.update({f"best/{name}": value for name, value in best_state.items()})
+        meta = {
+            "schema": 1,
+            "epoch": epoch,
+            "lr": float(opt.lr),
+            "step_count": int(getattr(opt, "_step_count", 0)),
+            "bad_epochs": int(bad_epochs),
+            "train_losses": history.train_losses,
+            "val_losses": history.val_losses,
+            "best_epoch": history.best_epoch,
+            "recoveries": history.recoveries,
+            "train_seconds": prior_seconds + (time.perf_counter() - started),
+            "has_best": best_state is not None,
+            "rng": {
+                "loader": loader._rng.bit_generator.state,
+                "init": nn_init.get_rng().bit_generator.state,
+            },
+        }
+        arrays["meta"] = np.array(json.dumps(meta))
+        return arrays
+
+    def _apply_checkpoint(
+        self, arrays: dict[str, np.ndarray], loader: DataLoader | None
+    ) -> tuple[dict, dict[str, np.ndarray] | None]:
+        """Restore model/optimizer/RNG state; return (meta, best_state)."""
+        meta = json.loads(str(arrays["meta"]))
+        self.model.load_state_dict(
+            {
+                name[len("model/"):]: value
+                for name, value in arrays.items()
+                if name.startswith("model/")
+            }
+        )
+        opt = self.optimizer
+        opt.lr = float(meta["lr"])
+        if hasattr(opt, "_step_count"):
+            opt._step_count = int(meta["step_count"])
+        if hasattr(opt, "_m"):
+            for i, moment in enumerate(opt._m):
+                moment[...] = arrays[f"optim/m/{i}"]
+            for i, moment in enumerate(opt._v):
+                moment[...] = arrays[f"optim/v/{i}"]
+        rng = meta.get("rng", {})
+        if loader is not None and rng.get("loader"):
+            loader._rng.bit_generator.state = rng["loader"]
+        if rng.get("init"):
+            nn_init.get_rng().bit_generator.state = rng["init"]
+        best_state = None
+        if meta.get("has_best"):
+            best_state = {
+                name[len("best/"):]: np.array(value, copy=True)
+                for name, value in arrays.items()
+                if name.startswith("best/")
+            }
+        return meta, best_state
+
+    @staticmethod
+    def _restore_history(history: TrainingHistory, meta: dict) -> None:
+        history.train_losses[:] = [float(v) for v in meta["train_losses"]]
+        history.val_losses[:] = [float(v) for v in meta["val_losses"]]
+        history.best_epoch = int(meta["best_epoch"])
+        history.recoveries[:] = list(meta.get("recoveries", []))
+
+    def _is_explosion(self, train_loss: float, history: TrainingHistory) -> bool:
+        factor = self.config.loss_explosion_factor
+        prior = [loss for loss in history.train_losses if np.isfinite(loss)]
+        if not factor or not prior:
+            return False
+        return train_loss > factor * max(min(prior), 1e-12)
+
+    # ------------------------------------------------------------------
+    # Training loop
+    # ------------------------------------------------------------------
     def fit(
         self,
         train_dataset: SlidingWindowDataset,
@@ -106,9 +237,67 @@ class Trainer:
         history = TrainingHistory()
         best_state = None
         bad_epochs = 0
+        start_epoch = 0
+        prior_seconds = 0.0
+        manager = None
+        if cfg.checkpoint_dir:
+            manager = CheckpointManager(cfg.checkpoint_dir, keep=cfg.keep_checkpoints)
+            if cfg.resume:
+                latest = manager.load_latest()
+                if latest is not None:
+                    ckpt_epoch, arrays = latest
+                    meta, best_state = self._apply_checkpoint(arrays, loader)
+                    self._restore_history(history, meta)
+                    bad_epochs = int(meta["bad_epochs"])
+                    prior_seconds = float(meta.get("train_seconds", 0.0))
+                    start_epoch = ckpt_epoch + 1
+                    if cfg.verbose:
+                        print(f"resumed from checkpoint at epoch {ckpt_epoch}")
+        retries = 0
         started = time.perf_counter()
-        for epoch in range(cfg.epochs):
-            train_loss = self._epoch(loader)
+        epoch = start_epoch
+        while epoch < cfg.epochs:
+            try:
+                train_loss = self._epoch(loader)
+                if self._can_recover(manager, retries) and self._is_explosion(
+                    train_loss, history
+                ):
+                    best_prior = min(
+                        loss for loss in history.train_losses if np.isfinite(loss)
+                    )
+                    raise NonFiniteLossError(
+                        f"exploding training loss ({train_loss:.3e}, best prior "
+                        f"{best_prior:.3e}) at epoch {epoch}"
+                    )
+            except NonFiniteLossError as error:
+                if not self._can_recover(manager, retries):
+                    raise
+                latest = manager.load_latest()
+                if latest is None:
+                    raise
+                ckpt_epoch, arrays = latest
+                halved_lr = 0.5 * self.optimizer.lr
+                meta, best_state = self._apply_checkpoint(arrays, loader)
+                self._restore_history(history, meta)
+                bad_epochs = int(meta["bad_epochs"])
+                self.optimizer.lr = halved_lr
+                retries += 1
+                history.recoveries.append(
+                    {
+                        "epoch": epoch,
+                        "restored_epoch": ckpt_epoch,
+                        "reason": str(error),
+                        "lr": halved_lr,
+                    }
+                )
+                if cfg.verbose:
+                    print(
+                        f"loss spike at epoch {epoch}: rolled back to epoch "
+                        f"{ckpt_epoch}, lr halved to {halved_lr:.3e} "
+                        f"(retry {retries}/{cfg.max_recovery_retries})"
+                    )
+                epoch = ckpt_epoch + 1
+                continue
             history.train_losses.append(train_loss)
             if val_dataset is not None:
                 val_loss = self.validation_loss(val_dataset)
@@ -135,10 +324,30 @@ class Trainer:
                     break
             elif cfg.verbose:
                 print(f"epoch {epoch}: train {train_loss:.4f}")
+            if (
+                manager is not None
+                and cfg.checkpoint_every
+                and (epoch + 1) % cfg.checkpoint_every == 0
+            ):
+                manager.save(
+                    self._pack_checkpoint(
+                        epoch, history, best_state, bad_epochs, loader,
+                        prior_seconds, started,
+                    ),
+                    epoch,
+                )
+            epoch += 1
         if best_state is not None:
             self.model.load_state_dict(best_state)
-        history.train_seconds = time.perf_counter() - started
+        history.train_seconds = prior_seconds + (time.perf_counter() - started)
         return history
+
+    def _can_recover(self, manager: CheckpointManager | None, retries: int) -> bool:
+        return (
+            manager is not None
+            and retries < self.config.max_recovery_retries
+            and manager.has_checkpoint()
+        )
 
     def evaluate(
         self, dataset: SlidingWindowDataset, stride_subsample: int = 1
@@ -146,6 +355,11 @@ class Trainer:
         """Metrics over a dataset (optionally subsampled for speed)."""
         self.model.eval()
         indices = np.arange(0, len(dataset), stride_subsample)
+        if len(indices) == 0:
+            raise ValueError(
+                "cannot evaluate on an empty dataset (0 windows); "
+                "check the split lengths against lookback + horizon"
+            )
         preds, targets = [], []
         with ag.no_grad():
             for start in range(0, len(indices), self.config.batch_size):

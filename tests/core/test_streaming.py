@@ -107,6 +107,85 @@ class TestBuffering:
         assert stream._ring is storage
 
 
+class TestBufferIsolation:
+    def test_buffer_not_aliased_at_ring_boundary(self, rng):
+        """Regression: with _head == 0 the old _buffer returned the live
+        ring storage, so a caller holding the result saw it mutate on the
+        next observe()."""
+        stream = StreamingFOCUS(make_model(rng))
+        stream.observe_many(rng.standard_normal((24, 3)))  # exactly lookback
+        assert stream._head == 0
+        held = stream._buffer
+        assert held is not stream._ring
+        snapshot = held.copy()
+        stream.observe(rng.standard_normal(3))
+        assert np.array_equal(held, snapshot)
+
+    def test_buffer_not_aliased_mid_ring(self, rng):
+        stream = StreamingFOCUS(make_model(rng))
+        stream.observe_many(rng.standard_normal((30, 3)))
+        assert stream._head != 0
+        held = stream._buffer
+        snapshot = held.copy()
+        stream.observe_many(rng.standard_normal((5, 3)))
+        assert np.array_equal(held, snapshot)
+
+    def test_writing_to_buffer_does_not_poison_ring(self, rng):
+        stream = StreamingFOCUS(make_model(rng))
+        data = rng.standard_normal((24, 3))
+        stream.observe_many(data)
+        stream._buffer[:] = np.nan
+        assert np.array_equal(stream._buffer, data)
+
+
+class TestObserveManyWraparound:
+    def test_block_larger_than_lookback(self, rng):
+        chunked = StreamingFOCUS(make_model(rng))
+        stepped = StreamingFOCUS(make_model(rng))
+        block = rng.standard_normal((2 * 24 + 5, 3))
+        chunked.observe_many(block)
+        for row in block:
+            stepped.observe(row)
+        assert np.array_equal(chunked._buffer, block[-24:])
+        assert np.array_equal(chunked._buffer, stepped._buffer)
+        assert chunked._head == stepped._head
+        assert chunked.ready
+
+    def test_block_landing_exactly_on_ring_boundary(self, rng):
+        chunked = StreamingFOCUS(make_model(rng))
+        stepped = StreamingFOCUS(make_model(rng))
+        data = rng.standard_normal((7 + 17, 3))
+        chunked.observe_many(data[:7])
+        chunked.observe_many(data[7:])  # lands the head exactly on slot 0
+        for row in data:
+            stepped.observe(row)
+        assert chunked._head == 0
+        assert np.array_equal(chunked._buffer, stepped._buffer)
+        # A full-lookback block from the boundary wraps back to it.
+        more = rng.standard_normal((24, 3))
+        chunked.observe_many(more)
+        assert chunked._head == 0
+        assert np.array_equal(chunked._buffer, more)
+
+    def test_equivalence_on_an_already_wrapped_stream(self, rng):
+        """Chunked and stepped ingestion agree even after the ring has
+        wrapped several times and the head sits mid-ring."""
+        chunked = StreamingFOCUS(make_model(rng))
+        stepped = StreamingFOCUS(make_model(rng))
+        prefix = rng.standard_normal((61, 3))  # head mid-ring, wrapped twice
+        chunked.observe_many(prefix)
+        for row in prefix:
+            stepped.observe(row)
+        for size in (1, 23, 24, 25, 70):
+            block = rng.standard_normal((size, 3))
+            chunked.observe_many(block)
+            for row in block:
+                stepped.observe(row)
+            assert np.array_equal(chunked._buffer, stepped._buffer), size
+            assert chunked._head == stepped._head
+        assert chunked.stats.observations == stepped.stats.observations
+
+
 class TestAdaptation:
     def test_disabled_by_default(self, rng):
         model = make_model(rng)

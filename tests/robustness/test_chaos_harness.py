@@ -1,0 +1,88 @@
+"""The fault-injection harness itself: deterministic schedules."""
+
+import numpy as np
+import pytest
+
+from repro import autograd as ag
+from repro.baselines import DLinear
+from repro.nn import init
+from repro.robustness import ChaosError, ChaosModel, ChaosSpec
+
+
+def wrapped(spec, seed=0):
+    init.seed(seed)
+    return ChaosModel(DLinear(12, 4, 2), spec)
+
+
+def forward(model, rng):
+    return model(ag.Tensor(rng.standard_normal((1, 12, 2))))
+
+
+pytestmark = pytest.mark.chaos
+
+
+class TestSchedule:
+    def test_nan_injection_on_schedule(self, rng):
+        model = wrapped(ChaosSpec(nan_every=3))
+        for call in range(1, 10):
+            out = forward(model, rng)
+            if call % 3 == 0:
+                assert np.isnan(out.data).all(), f"call {call} should be NaN"
+            else:
+                assert np.isfinite(out.data).all(), f"call {call} should be clean"
+        assert model.injected_nans == 3
+
+    def test_failure_injection_raises(self, rng):
+        model = wrapped(ChaosSpec(fail_every=2))
+        forward(model, rng)
+        with pytest.raises(ChaosError, match="call 2"):
+            forward(model, rng)
+        assert model.injected_failures == 1
+
+    def test_spike_injection_scales_output(self, rng):
+        model = wrapped(ChaosSpec(spike_every=1, spike_scale=100.0))
+        x = ag.Tensor(rng.standard_normal((1, 12, 2)))
+        clean = model.inner(x)
+        spiked = model(x)
+        np.testing.assert_allclose(spiked.data, clean.data * 100.0)
+        assert model.injected_spikes == 1
+
+    def test_injection_window(self, rng):
+        model = wrapped(ChaosSpec(nan_every=1, start_after=2, stop_after=4))
+        results = [np.isnan(forward(model, rng).data).any() for _ in range(6)]
+        assert results == [False, False, True, True, False, False]
+
+    def test_deterministic_across_instances(self, rng):
+        spec = ChaosSpec(nan_every=2, fail_every=5)
+        a, b = wrapped(spec, seed=1), wrapped(spec, seed=1)
+        for model in (a, b):
+            stream = np.random.default_rng(9)
+            for _ in range(10):
+                try:
+                    forward(model, stream)
+                except ChaosError:
+                    pass
+        assert a.injection_log == b.injection_log
+        assert a.injection_log  # schedule actually fired
+
+    def test_latency_injection_counts(self, rng):
+        model = wrapped(ChaosSpec(latency_every=2, latency_s=0.0))
+        for _ in range(4):
+            forward(model, rng)
+        assert model.injected_latencies == 2
+
+
+class TestDelegation:
+    def test_attributes_and_modes_delegate(self):
+        inner_model = DLinear(12, 4, 2)
+        model = ChaosModel(inner_model, ChaosSpec())
+        assert model.lookback == inner_model.lookback
+        model.eval()
+        assert inner_model.training is False
+        # Parameters are discoverable through the wrapper (Trainer needs it).
+        assert model.num_parameters() == inner_model.num_parameters()
+
+    def test_missing_attribute_still_raises(self):
+        model = wrapped(ChaosSpec())
+        with pytest.raises(AttributeError):
+            model.definitely_not_an_attribute

@@ -1,0 +1,104 @@
+"""CheckpointManager: atomicity, checksums, retention, corruption fallback."""
+
+import numpy as np
+import pytest
+
+from repro.robustness import (
+    CheckpointCorruptionError,
+    CheckpointManager,
+    corrupt_file,
+    state_checksum,
+    truncate_file,
+)
+
+
+def payload(seed=0, size=32):
+    rng = np.random.default_rng(seed)
+    return {
+        "model/w": rng.standard_normal((size, 4)),
+        "model/b": rng.standard_normal(4),
+        "meta": np.array('{"epoch": 0}'),
+    }
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        arrays = payload()
+        path = manager.save(arrays, epoch=3)
+        assert path.name == "ckpt_epoch000003.npz"
+        restored = manager.load(path)
+        assert set(restored) == set(arrays)
+        for name in arrays:
+            assert np.array_equal(restored[name], np.asarray(arrays[name]))
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(payload(), epoch=0)
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp." in p.name]
+        assert leftovers == []
+
+    def test_checksum_key_reserved(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        with pytest.raises(ValueError, match="reserved"):
+            manager.save({"__checksum__": np.zeros(1)}, epoch=0)
+
+    def test_load_latest_empty_dir(self, tmp_path):
+        assert CheckpointManager(tmp_path).load_latest() is None
+        assert not CheckpointManager(tmp_path).has_checkpoint()
+
+    def test_checksum_deterministic_and_sensitive(self):
+        a = payload(seed=1)
+        assert state_checksum(a) == state_checksum(dict(a))
+        b = payload(seed=1)
+        b["model/b"] = b["model/b"] + 1e-12
+        assert state_checksum(a) != state_checksum(b)
+
+
+class TestRetention:
+    def test_keeps_only_newest_n(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for epoch in range(5):
+            manager.save(payload(seed=epoch), epoch=epoch)
+        epochs = [epoch for epoch, _ in manager.list_checkpoints()]
+        assert epochs == [3, 4]
+
+    def test_keep_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            CheckpointManager(tmp_path, keep=0)
+
+
+@pytest.mark.chaos
+class TestCorruption:
+    def test_bit_flips_detected(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(payload(), epoch=0)
+        corrupt_file(path, n_bytes=32, seed=7)
+        with pytest.raises(CheckpointCorruptionError):
+            manager.load(path)
+
+    def test_truncation_detected(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(payload(), epoch=0)
+        truncate_file(path, keep_fraction=0.5)
+        with pytest.raises(CheckpointCorruptionError):
+            manager.load(path)
+
+    def test_load_latest_falls_back_past_corrupt_newest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=3)
+        for epoch in range(3):
+            manager.save(payload(seed=epoch), epoch=epoch)
+        corrupt_file(manager.path_for(2), seed=1)
+        latest = manager.load_latest()
+        assert latest is not None
+        epoch, arrays = latest
+        assert epoch == 1
+        assert np.array_equal(arrays["model/w"], payload(seed=1)["model/w"])
+
+    def test_load_latest_none_when_all_corrupt(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        for epoch in range(2):
+            manager.save(payload(seed=epoch), epoch=epoch)
+        for epoch in range(2):
+            corrupt_file(manager.path_for(epoch), seed=epoch)
+        assert manager.load_latest() is None

@@ -1,0 +1,223 @@
+"""Trainer fault tolerance: kill-and-resume, rollback + LR halving."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import DLinear
+from repro.data import DataLoader, SlidingWindowDataset
+from repro.robustness import ChaosModel, ChaosSpec, CheckpointManager, corrupt_file
+from repro.training import NonFiniteLossError, Trainer, TrainerConfig
+
+
+def linear_series(n=400, entities=2, slope=0.01, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)[:, None]
+    return slope * t + 0.05 * rng.standard_normal((n, entities))
+
+
+@pytest.fixture
+def datasets():
+    data = linear_series()
+    train = SlidingWindowDataset(data[:300], lookback=24, horizon=6)
+    val = SlidingWindowDataset(data[280:], lookback=24, horizon=6)
+    return train, val
+
+
+def fresh_model():
+    nn.init.seed(0)
+    return DLinear(24, 6, 2)
+
+
+def batches_per_epoch(dataset, batch_size):
+    return len(DataLoader(dataset, batch_size))
+
+
+class TestKillAndResume:
+    def test_resume_reproduces_uninterrupted_history(self, datasets, tmp_path):
+        """The acceptance criterion: checkpoint at epoch e, 'crash', resume,
+        and land on the identical TrainingHistory (losses within 1e-9)."""
+        train, val = datasets
+        base = dict(epochs=5, batch_size=16, lr=1e-2, patience=99)
+
+        trainer_full = Trainer(fresh_model(), TrainerConfig(**base))
+        full = trainer_full.fit(train, val)
+
+        # Interrupted run: only 3 epochs happen before the "crash".
+        ckpt_dir = str(tmp_path / "ckpts")
+        interrupted = Trainer(
+            fresh_model(),
+            TrainerConfig(**base, checkpoint_dir=ckpt_dir, checkpoint_every=1),
+        )
+        interrupted.config.epochs = 3
+        partial = interrupted.fit(train, val)
+        assert len(partial.train_losses) == 3
+
+        # Resume with a brand-new process-equivalent: fresh model object,
+        # fresh trainer, weights/optimizer/RNG all from the checkpoint.
+        resumed_trainer = Trainer(
+            fresh_model(),
+            TrainerConfig(**base, checkpoint_dir=ckpt_dir, resume=True),
+        )
+        resumed = resumed_trainer.fit(train, val)
+
+        assert len(resumed.train_losses) == len(full.train_losses)
+        np.testing.assert_allclose(resumed.train_losses, full.train_losses, atol=1e-9)
+        np.testing.assert_allclose(resumed.val_losses, full.val_losses, atol=1e-9)
+        assert resumed.best_epoch == full.best_epoch
+        for name, value in trainer_full.model.state_dict().items():
+            np.testing.assert_allclose(
+                resumed_trainer.model.state_dict()[name], value, atol=1e-9
+            )
+
+    def test_resume_without_checkpoint_starts_fresh(self, datasets, tmp_path):
+        train, val = datasets
+        trainer = Trainer(
+            fresh_model(),
+            TrainerConfig(
+                epochs=2, batch_size=16, lr=1e-2,
+                checkpoint_dir=str(tmp_path / "empty"), resume=True,
+            ),
+        )
+        history = trainer.fit(train, val)
+        assert len(history.train_losses) == 2
+
+    def test_checkpoint_retention(self, datasets, tmp_path):
+        train, _ = datasets
+        ckpt_dir = tmp_path / "ckpts"
+        trainer = Trainer(
+            fresh_model(),
+            TrainerConfig(
+                epochs=5, batch_size=16, lr=1e-2, restore_best=False,
+                checkpoint_dir=str(ckpt_dir), keep_checkpoints=2,
+            ),
+        )
+        trainer.fit(train)
+        epochs = [e for e, _ in CheckpointManager(ckpt_dir).list_checkpoints()]
+        assert epochs == [3, 4]
+
+    @pytest.mark.chaos
+    def test_resume_falls_back_past_corrupt_newest_checkpoint(
+        self, datasets, tmp_path
+    ):
+        train, val = datasets
+        ckpt_dir = tmp_path / "ckpts"
+        first = Trainer(
+            fresh_model(),
+            TrainerConfig(
+                epochs=3, batch_size=16, lr=1e-2,
+                checkpoint_dir=str(ckpt_dir), keep_checkpoints=3,
+            ),
+        )
+        first.fit(train, val)
+        corrupt_file(CheckpointManager(ckpt_dir).path_for(2), seed=3)
+        resumed = Trainer(
+            fresh_model(),
+            TrainerConfig(
+                epochs=5, batch_size=16, lr=1e-2,
+                checkpoint_dir=str(ckpt_dir), resume=True,
+            ),
+        )
+        history = resumed.fit(train, val)
+        # Restored from epoch 1 (the newest *valid* checkpoint), so epochs
+        # 2-4 are (re)trained and the full history has 5 entries.
+        assert len(history.train_losses) == 5
+        assert np.isfinite(history.train_losses).all()
+
+
+@pytest.mark.chaos
+class TestLossSpikeRecovery:
+    def test_nan_loss_rolls_back_and_halves_lr(self, datasets, tmp_path):
+        """Acceptance: non-finite loss + available checkpoint -> rollback +
+        LR halving (observable in TrainingHistory), not RuntimeError."""
+        train, _ = datasets
+        per_epoch = batches_per_epoch(train, 16)
+        model = ChaosModel(
+            fresh_model(),
+            # First batch of epoch 1 yields NaN, then injection stops.
+            ChaosSpec(nan_every=1, start_after=per_epoch, stop_after=per_epoch + 1),
+        )
+        trainer = Trainer(
+            model,
+            TrainerConfig(
+                epochs=3, batch_size=16, lr=1e-2, restore_best=False,
+                checkpoint_dir=str(tmp_path / "ckpts"), checkpoint_every=1,
+            ),
+        )
+        history = trainer.fit(train)
+        assert model.injected_nans == 1
+        assert len(history.recoveries) == 1
+        recovery = history.recoveries[0]
+        assert recovery["epoch"] == 1
+        assert recovery["restored_epoch"] == 0
+        assert "non-finite" in recovery["reason"]
+        assert recovery["lr"] == pytest.approx(1e-2 / 2)
+        assert trainer.optimizer.lr == pytest.approx(1e-2 / 2)
+        assert len(history.train_losses) == 3
+        assert np.isfinite(history.train_losses).all()
+
+    def test_exploding_finite_loss_triggers_recovery(self, datasets, tmp_path):
+        train, _ = datasets
+        per_epoch = batches_per_epoch(train, 16)
+        model = ChaosModel(
+            fresh_model(),
+            ChaosSpec(
+                spike_every=1, spike_scale=1e9,
+                start_after=per_epoch, stop_after=per_epoch + 1,
+            ),
+        )
+        trainer = Trainer(
+            model,
+            TrainerConfig(
+                epochs=3, batch_size=16, lr=1e-2, restore_best=False,
+                checkpoint_dir=str(tmp_path / "ckpts"),
+            ),
+        )
+        history = trainer.fit(train)
+        assert len(history.recoveries) >= 1
+        assert trainer.optimizer.lr < 1e-2
+        assert len(history.train_losses) == 3
+        assert np.isfinite(history.train_losses).all()
+
+    def test_no_checkpoint_preserves_hard_failure(self, datasets):
+        train, _ = datasets
+        model = ChaosModel(fresh_model(), ChaosSpec(nan_every=1))
+        trainer = Trainer(model, TrainerConfig(epochs=1, batch_size=16))
+        with pytest.raises(RuntimeError, match="non-finite"):
+            trainer.fit(train)
+
+    def test_retries_bounded(self, datasets, tmp_path):
+        """Permanent NaN injection exhausts the retry budget and re-raises."""
+        train, _ = datasets
+        per_epoch = batches_per_epoch(train, 16)
+        model = ChaosModel(
+            fresh_model(),
+            ChaosSpec(nan_every=1, start_after=per_epoch),  # never stops
+        )
+        trainer = Trainer(
+            model,
+            TrainerConfig(
+                epochs=3, batch_size=16, lr=1e-2, restore_best=False,
+                checkpoint_dir=str(tmp_path / "ckpts"), max_recovery_retries=2,
+            ),
+        )
+        with pytest.raises(NonFiniteLossError):
+            trainer.fit(train)
+        # Both retries were spent before the hard failure.
+        assert trainer.optimizer.lr == pytest.approx(1e-2 / 4)
+
+
+class TestEvaluateEmptyDataset:
+    def test_clear_error_message(self):
+        class EmptyDataset:
+            lookback, horizon = 24, 6
+
+            def __len__(self):
+                return 0
+
+            def batch(self, indices):  # pragma: no cover - never reached
+                raise AssertionError("batch() must not be called when empty")
+
+        trainer = Trainer(fresh_model(), TrainerConfig(batch_size=16))
+        with pytest.raises(ValueError, match="empty dataset"):
+            trainer.evaluate(EmptyDataset())

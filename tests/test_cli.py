@@ -79,6 +79,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "mse" in out and "DLinear" in out
 
+    def test_run_checkpoint_and_resume(self, capsys, tmp_path):
+        ckpt_dir = tmp_path / "ckpts"
+        args = [
+            "run", "--model", "DLinear", "--dataset", "ETTh1",
+            "--lookback", "48", "--horizon", "12", "--epochs", "1",
+            "--checkpoint-dir", str(ckpt_dir),
+        ]
+        assert main(args) == 0
+        assert any(p.name.startswith("ckpt_epoch") for p in ckpt_dir.iterdir())
+        # Resume picks up the epoch-0 checkpoint and trains one more epoch.
+        assert main(args + ["--epochs", "2", "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint at epoch 0" in out
+
     def test_compare_small(self, capsys):
         code = main(
             [
