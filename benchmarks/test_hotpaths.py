@@ -1,4 +1,4 @@
-"""Hot-path performance regressions: the three optimizations of the
+"""Hot-path performance regressions: the four optimizations of the
 ``repro bench`` harness, asserted rather than eyeballed.
 
 These mirror ``repro.profiling.bench`` but run under pytest-benchmark so
@@ -15,6 +15,7 @@ from repro.profiling.bench import (
     bench_clustering,
     bench_protoattn,
     bench_streaming,
+    bench_training_step,
     run_benchmarks,
 )
 
@@ -60,12 +61,34 @@ def test_streaming_observe_throughput(benchmark):
     assert result["observe_per_s"] >= 10_000, result
 
 
+def test_training_step_inplace_allocates_less(benchmark):
+    """The in-place backward/optimizer must allocate far fewer engine
+    buffers per step than the legacy paths, and float32 must not be
+    slower than float64 (measured ~2.6x faster on the pinned config)."""
+    result = benchmark.pedantic(
+        bench_training_step, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    print()
+    print(
+        f"  training step: float64 {result['float64_ms']:.1f}ms vs "
+        f"float32 {result['float32_ms']:.1f}ms "
+        f"({result['speedup_fp32']:.2f}x); allocations "
+        f"{result['allocs_per_step_legacy']} -> "
+        f"{result['allocs_per_step_inplace']}"
+    )
+    assert result["allocs_per_step_inplace"] < result["allocs_per_step_legacy"], result
+    assert result["alloc_reduction"] >= 0.5, result
+    # Timing threshold is deliberately loose: tiny quick-mode arrays keep
+    # fp32's bandwidth advantage small, and CI boxes are noisy.
+    assert result["speedup_fp32"] >= 0.8, result
+
+
 def test_report_is_json_serializable():
     import json
 
     report = run_benchmarks(quick=True)
     encoded = json.loads(json.dumps(report))
-    assert encoded["schema"] == 1
+    assert encoded["schema"] == 2
     assert set(encoded) == {
         "schema",
         "mode",
@@ -73,5 +96,6 @@ def test_report_is_json_serializable():
         "clustering_fit",
         "protoattn_forward",
         "streaming",
+        "training_step",
     }
     assert np.isfinite(encoded["clustering_fit"]["max_abs_diff"])

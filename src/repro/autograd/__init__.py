@@ -14,6 +14,10 @@ Public surface:
 - Functional ops re-exported from the op modules (``matmul``, ``softmax``,
   ``relu``, ``concat`` ...); most are also available as ``Tensor`` methods.
 - :func:`no_grad` context manager and :func:`is_grad_enabled`.
+- Precision modes: :func:`set_default_dtype`, :func:`get_default_dtype`
+  and the :func:`default_dtype` context manager (float32/float64 runs).
+- :func:`legacy_accumulation` to benchmark against the historical
+  allocate-per-accumulation backward pass.
 - :func:`gradcheck` for verifying analytic gradients numerically.
 """
 
@@ -21,11 +25,15 @@ from repro.autograd.tensor import (
     Tensor,
     arange,
     as_tensor,
+    default_dtype,
+    get_default_dtype,
     is_grad_enabled,
+    legacy_accumulation,
     no_grad,
     ones,
     ones_like,
     randn,
+    set_default_dtype,
     tensor,
     zeros,
     zeros_like,
@@ -92,6 +100,10 @@ __all__ = [
     "arange",
     "no_grad",
     "is_grad_enabled",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
+    "legacy_accumulation",
     "gradcheck",
     # math
     "abs",

@@ -84,7 +84,7 @@ def erf(x: Tensor) -> Tensor:
     x = as_tensor(x)
     return Tensor._make(
         _special.erf(x.data),
-        [(x, lambda g: g * (2.0 / np.sqrt(np.pi)) * np.exp(-x.data**2))],
+        [(x, lambda g: g * float(2.0 / np.sqrt(np.pi)) * np.exp(-x.data**2))],
         "erf",
     )
 
@@ -93,7 +93,7 @@ def gelu(x: Tensor) -> Tensor:
     """Exact GELU: ``x * Phi(x)`` with the Gaussian CDF ``Phi``."""
     x = as_tensor(x)
     cdf = 0.5 * (1.0 + _special.erf(x.data / _SQRT_2))
-    pdf = np.exp(-0.5 * x.data**2) / np.sqrt(2.0 * np.pi)
+    pdf = np.exp(-0.5 * x.data**2) / float(np.sqrt(2.0 * np.pi))
     return Tensor._make(
         x.data * cdf, [(x, lambda g: g * (cdf + x.data * pdf))], "gelu"
     )

@@ -22,10 +22,17 @@ import numpy as np
 DEFAULT_DTYPE = np.float64
 
 _GRAD_STATE = threading.local()
+_DTYPE_STATE = threading.local()
 
 # Optional op-level observer used by repro.profiling: when set, every op
-# construction reports (op_name, output_shape, parent_shapes).
+# construction reports (op_name, output_shape, parent_shapes, dtype).
+# Observers that additionally set ``wants_backward = True`` also receive
+# one ``"<op>.bwd"`` event per interior node processed by ``backward()``.
 _OP_OBSERVER = None
+
+# Optional allocation observer: called with the byte size of every fresh
+# gradient/optimizer buffer the engine allocates (see repro.profiling).
+_ALLOC_OBSERVER = None
 
 
 def set_op_observer(observer) -> None:
@@ -37,6 +44,28 @@ def set_op_observer(observer) -> None:
 def get_op_observer():
     """Return the currently installed op observer (or None)."""
     return _OP_OBSERVER
+
+
+def set_alloc_observer(observer) -> None:
+    """Install (or clear, with None) the engine allocation observer.
+
+    The observer is called as ``observer(nbytes)`` once per buffer the
+    backward pass or an in-place optimizer allocates.  Forward-op outputs
+    are *not* reported here (they are op outputs, not engine temporaries).
+    """
+    global _ALLOC_OBSERVER
+    _ALLOC_OBSERVER = observer
+
+
+def get_alloc_observer():
+    """Return the currently installed allocation observer (or None)."""
+    return _ALLOC_OBSERVER
+
+
+def note_alloc(array: np.ndarray) -> None:
+    """Report one engine-owned buffer allocation to the observer, if any."""
+    if _ALLOC_OBSERVER is not None:
+        _ALLOC_OBSERVER(array.nbytes)
 
 
 def is_grad_enabled() -> bool:
@@ -55,23 +84,102 @@ def no_grad():
         _GRAD_STATE.enabled = previous
 
 
+def inplace_accumulation_enabled() -> bool:
+    """True when ``backward()`` may reuse/donate gradient buffers."""
+    return getattr(_GRAD_STATE, "inplace", True)
+
+
+@contextlib.contextmanager
+def legacy_accumulation():
+    """Force the pre-optimization allocate-per-accumulation backward path.
+
+    Kept for the allocation benchmark and for bit-stability regression
+    tests: the legacy path reproduces the original engine's behavior
+    (fresh ``a + b`` buffers on every gradient accumulation).
+    """
+    previous = inplace_accumulation_enabled()
+    _GRAD_STATE.inplace = False
+    try:
+        yield
+    finally:
+        _GRAD_STATE.inplace = previous
+
+
+# ----------------------------------------------------------------------
+# Precision modes
+# ----------------------------------------------------------------------
+def get_default_dtype() -> np.dtype:
+    """The floating dtype new tensors are created with (float64 unless set)."""
+    return getattr(_DTYPE_STATE, "dtype", None) or np.dtype(DEFAULT_DTYPE)
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the engine-wide default floating dtype (e.g. ``'float32'``)."""
+    dtype = np.dtype(dtype)
+    if dtype.kind != "f":
+        raise ValueError(f"default dtype must be a float dtype, got {dtype}")
+    _DTYPE_STATE.dtype = dtype
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Context manager scoping :func:`set_default_dtype` to a block."""
+    previous = getattr(_DTYPE_STATE, "dtype", None)
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        _DTYPE_STATE.dtype = previous
+
+
 def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` (shape produced by broadcasting) back to ``shape``.
 
     Sums over the leading axes numpy added and over any axis that was
     expanded from size 1.
     """
+    return _unbroadcast(grad, shape)[0]
+
+
+def _unbroadcast(
+    grad: np.ndarray, shape: tuple[int, ...], out: np.ndarray | None = None
+) -> tuple[np.ndarray, bool]:
+    """:func:`unbroadcast` plus a flag marking freshly-allocated results.
+
+    When ``out`` (an owned scratch of target ``shape``/dtype) is given and
+    a single reduction stage suffices, the sum is written into it instead
+    of a new array.  The reduction order matches the historical two-stage
+    implementation exactly, so results are bit-identical.
+    """
     if grad.shape == shape:
-        return grad
+        return grad, False
+    fresh = False
     # Sum away leading dimensions added by broadcasting.
     extra = grad.ndim - len(shape)
     if extra > 0:
-        grad = grad.sum(axis=tuple(range(extra)))
+        lead = tuple(range(extra))
+        trailing = grad.shape[extra:]
+        needs_second = any(
+            n == 1 and trailing[i] != 1 for i, n in enumerate(shape)
+        )
+        if not needs_second and out is not None:
+            np.sum(grad, axis=lead, out=out)
+            return out, True
+        grad = grad.sum(axis=lead)
+        note_alloc(grad)
+        fresh = True
     # Sum over axes that were 1 in the original shape.
     axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
     if axes:
+        if out is not None and not fresh:
+            np.sum(grad, axis=axes, keepdims=True, out=out)
+            return out, True
         grad = grad.sum(axis=axes, keepdims=True)
-    return grad.reshape(shape)
+        note_alloc(grad)
+        fresh = True
+    if grad.shape != shape:
+        grad = grad.reshape(shape)
+    return grad, fresh
 
 
 class Tensor:
@@ -91,7 +199,18 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False, dtype=None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=dtype or DEFAULT_DTYPE)
+        if dtype is not None:
+            self.data = np.asarray(data, dtype=dtype)
+        elif isinstance(data, np.ndarray) and data.dtype.kind == "f":
+            # Already a float ndarray: keep its storage and dtype as-is
+            # (no silent upcast to the default dtype).
+            self.data = data
+        elif isinstance(data, np.floating):
+            # Numpy float scalar (e.g. a full reduction): keep its dtype so
+            # float32 losses stay float32.
+            self.data = np.asarray(data)
+        else:
+            self.data = np.asarray(data, dtype=get_default_dtype())
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: np.ndarray | None = None
         # list of (parent Tensor, grad_fn: ndarray -> ndarray) pairs
@@ -109,12 +228,28 @@ class Tensor:
     ) -> "Tensor":
         """Create an op output, wiring in parents when autograd is on."""
         if _OP_OBSERVER is not None:
-            _OP_OBSERVER(op_name, np.shape(data), [p.shape for p, _ in parents])
+            _OP_OBSERVER(
+                op_name,
+                np.shape(data),
+                [p.shape for p, _ in parents],
+                getattr(data, "dtype", None),
+            )
         tracked = [(p, fn) for p, fn in parents if p.requires_grad]
         out = Tensor(data, requires_grad=bool(tracked) and is_grad_enabled())
         if out.requires_grad:
             out._parents = tracked
             out._op_name = op_name
+        return out
+
+    @classmethod
+    def _wrap(cls, array: np.ndarray) -> "Tensor":
+        """Wrap an ndarray verbatim (no cast, no copy) as a graph leaf."""
+        out = cls.__new__(cls)
+        out.data = array
+        out.requires_grad = False
+        out.grad = None
+        out._parents = []
+        out._op_name = "leaf"
         return out
 
     # ------------------------------------------------------------------
@@ -157,12 +292,16 @@ class Tensor:
         return float(self.data.item())
 
     def detach(self) -> "Tensor":
-        """Return a view of the data cut off from the autograd graph."""
-        return Tensor(self.data)
+        """Return a tensor sharing this storage, cut off from the graph.
+
+        The result shares memory with ``self`` and preserves the dtype
+        exactly — it never re-casts through the default dtype.
+        """
+        return Tensor._wrap(self.data)
 
     def copy(self) -> "Tensor":
-        """Return a detached deep copy."""
-        return Tensor(self.data.copy())
+        """Return a detached deep copy (same dtype, new storage)."""
+        return Tensor._wrap(self.data.copy())
 
     # ------------------------------------------------------------------
     # Backward pass
@@ -175,40 +314,128 @@ class Tensor:
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
+        inplace = inplace_accumulation_enabled()
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError("grad must be specified for non-scalar outputs")
-            grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=self.data.dtype)
-        if grad.shape != self.data.shape:
-            grad = np.broadcast_to(grad, self.data.shape).copy()
+            root = np.ones_like(self.data)
+            note_alloc(root)
+            root_owned = True
+        else:
+            supplied = grad
+            root = np.asarray(grad, dtype=self.data.dtype)
+            # A fresh cast/conversion is ours to consume; a pass-through of
+            # the caller's array is not (they may reuse it).
+            root_owned = root is not supplied and root.base is None
+            if root_owned:
+                note_alloc(root)
+        if root.shape != self.data.shape:
+            root = np.broadcast_to(root, self.data.shape).copy()
+            note_alloc(root)
+            root_owned = True
+
+        observer = _OP_OBSERVER
+        if observer is not None and not getattr(observer, "wants_backward", False):
+            observer = None
 
         topo = _topological_order(self)
-        grads: dict[int, np.ndarray] = {id(self): grad}
+        grads: dict[int, np.ndarray] = {id(self): root}
+        # ids of grads entries whose buffer this pass may mutate or donate
+        owned: set[int] = {id(self)} if (inplace and root_owned) else set()
+        # per-(shape, dtype) scratch reused by unbroadcast reductions that
+        # are immediately folded into an existing accumulation buffer
+        scratch: dict[tuple, np.ndarray] = {}
         for node in topo:
-            node_grad = grads.pop(id(node), None)
+            node_key = id(node)
+            node_grad = grads.pop(node_key, None)
             if node_grad is None:
                 continue
+            node_owned = node_key in owned
+            owned.discard(node_key)
             if not node._parents:
                 # Leaf: accumulate into .grad
                 if node.grad is None:
-                    node.grad = node_grad.copy()
+                    if node_owned:
+                        node.grad = node_grad  # donate the owned buffer
+                    else:
+                        node.grad = node_grad.copy()
+                        note_alloc(node.grad)
+                elif (
+                    inplace
+                    and node.grad.base is None
+                    and node.grad.flags.owndata
+                    and node.grad.flags.writeable
+                ):
+                    np.add(node.grad, node_grad, out=node.grad)
                 else:
                     node.grad = node.grad + node_grad
+                    note_alloc(node.grad)
                 continue
-            # Interior node: leaves may also want their own .grad
-            if node is self or node.grad is not None:
-                node.grad = node_grad if node.grad is None else node.grad + node_grad
-            for parent, grad_fn in node._parents:
-                contribution = grad_fn(node_grad)
-                contribution = unbroadcast(
-                    np.asarray(contribution, dtype=parent.data.dtype), parent.data.shape
+            if observer is not None:
+                observer(
+                    node._op_name + ".bwd",
+                    node.data.shape,
+                    [p.shape for p, _ in node._parents],
+                    node.data.dtype,
                 )
-                key = id(parent)
-                if key in grads:
-                    grads[key] = grads[key] + contribution
+            # Interior node: the root (and retained grads) keep their own .grad
+            if node is self or node.grad is not None:
+                if node.grad is None:
+                    node.grad = node_grad
                 else:
-                    grads[key] = contribution
+                    node.grad = node.grad + node_grad
+                    note_alloc(node.grad)
+            for parent, grad_fn in node._parents:
+                raw = grad_fn(node_grad)
+                arr = np.asarray(raw, dtype=parent.data.dtype)
+                shape = parent.data.shape
+                key = id(parent)
+                existing = grads.get(key)
+                if not inplace:
+                    reduced = unbroadcast(arr, shape)
+                    if existing is None:
+                        grads[key] = reduced
+                    else:
+                        grads[key] = existing + reduced
+                        note_alloc(grads[key])
+                    continue
+                if existing is None:
+                    if arr.shape != shape:
+                        arr, _ = _unbroadcast(arr, shape)
+                    grads[key] = arr
+                    if (
+                        arr is not node_grad
+                        and arr.base is None
+                        and arr.flags.owndata
+                        and arr.flags.writeable
+                    ):
+                        owned.add(key)
+                    continue
+                if key in owned:
+                    if arr.shape != shape:
+                        buf = scratch.get((shape, arr.dtype.str))
+                        if buf is None:
+                            buf = np.empty(shape, dtype=arr.dtype)
+                            note_alloc(buf)
+                            scratch[(shape, arr.dtype.str)] = buf
+                        arr, _ = _unbroadcast(arr, shape, out=buf)
+                    np.add(existing, arr, out=existing)
+                    continue
+                if arr.shape != shape:
+                    arr, _ = _unbroadcast(arr, shape)
+                if (
+                    arr is not node_grad
+                    and arr.base is None
+                    and arr.flags.owndata
+                    and arr.flags.writeable
+                ):
+                    # existing + arr, written into the fresh contribution
+                    np.add(existing, arr, out=arr)
+                    grads[key] = arr
+                else:
+                    grads[key] = existing + arr
+                    note_alloc(grads[key])
+                owned.add(key)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -217,7 +444,7 @@ class Tensor:
     # Arithmetic operators
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = _operand(other, self.data.dtype)
         return Tensor._make(
             self.data + other.data,
             [(self, lambda g: g), (other, lambda g: g)],
@@ -227,7 +454,7 @@ class Tensor:
     __radd__ = __add__
 
     def __sub__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = _operand(other, self.data.dtype)
         return Tensor._make(
             self.data - other.data,
             [(self, lambda g: g), (other, lambda g: -g)],
@@ -235,10 +462,10 @@ class Tensor:
         )
 
     def __rsub__(self, other) -> "Tensor":
-        return as_tensor(other).__sub__(self)
+        return _operand(other, self.data.dtype).__sub__(self)
 
     def __mul__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = _operand(other, self.data.dtype)
         return Tensor._make(
             self.data * other.data,
             [(self, lambda g: g * other.data), (other, lambda g: g * self.data)],
@@ -248,7 +475,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = _operand(other, self.data.dtype)
         return Tensor._make(
             self.data / other.data,
             [
@@ -259,7 +486,7 @@ class Tensor:
         )
 
     def __rtruediv__(self, other) -> "Tensor":
-        return as_tensor(other).__truediv__(self)
+        return _operand(other, self.data.dtype).__truediv__(self)
 
     def __neg__(self) -> "Tensor":
         return Tensor._make(-self.data, [(self, lambda g: -g)], "neg")
@@ -473,8 +700,12 @@ def _topological_order(root: Tensor) -> list[Tensor]:
 # Creation helpers
 # ----------------------------------------------------------------------
 def tensor(data, requires_grad: bool = False, dtype=None) -> Tensor:
-    """Create a new Tensor (copies data)."""
-    return Tensor(np.array(data, dtype=dtype or DEFAULT_DTYPE), requires_grad=requires_grad)
+    """Create a new Tensor (copies data; float ndarrays keep their dtype)."""
+    if dtype is None and isinstance(data, np.ndarray) and data.dtype.kind == "f":
+        return Tensor(data.copy(), requires_grad=requires_grad)
+    return Tensor(
+        np.array(data, dtype=dtype or get_default_dtype()), requires_grad=requires_grad
+    )
 
 
 def as_tensor(data) -> Tensor:
@@ -482,32 +713,61 @@ def as_tensor(data) -> Tensor:
     return data if isinstance(data, Tensor) else Tensor(data)
 
 
-def zeros(shape, requires_grad: bool = False) -> Tensor:
+def _operand(value, dtype) -> Tensor:
+    """Coerce a binary-op operand; scalars adopt the tensor's ``dtype``.
+
+    Python/numpy scalars are "weak": wrapping them at the ambient default
+    dtype would silently promote a float32 graph back to float64 whenever
+    an op mixes in a constant (eps, scale factors), so they take the dtype
+    of the Tensor they combine with instead.
+    """
+    if isinstance(value, Tensor):
+        return value
+    if np.isscalar(value) or (isinstance(value, np.ndarray) and value.ndim == 0):
+        return Tensor._wrap(np.asarray(value, dtype=dtype))
+    return Tensor(value)
+
+
+def zeros(shape, requires_grad: bool = False, dtype=None) -> Tensor:
     """All-zeros tensor of the given shape."""
-    return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+    return Tensor(
+        np.zeros(shape, dtype=dtype or get_default_dtype()), requires_grad=requires_grad
+    )
 
 
 def zeros_like(t: Tensor, requires_grad: bool = False) -> Tensor:
-    """All-zeros tensor shaped like ``t``."""
+    """All-zeros tensor shaped (and typed) like ``t``."""
     return Tensor(np.zeros_like(_raw(t)), requires_grad=requires_grad)
 
 
-def ones(shape, requires_grad: bool = False) -> Tensor:
+def ones(shape, requires_grad: bool = False, dtype=None) -> Tensor:
     """All-ones tensor of the given shape."""
-    return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+    return Tensor(
+        np.ones(shape, dtype=dtype or get_default_dtype()), requires_grad=requires_grad
+    )
 
 
 def ones_like(t: Tensor, requires_grad: bool = False) -> Tensor:
-    """All-ones tensor shaped like ``t``."""
+    """All-ones tensor shaped (and typed) like ``t``."""
     return Tensor(np.ones_like(_raw(t)), requires_grad=requires_grad)
 
 
-def randn(*shape, rng: np.random.Generator | None = None, requires_grad: bool = False) -> Tensor:
+def randn(
+    *shape,
+    rng: np.random.Generator | None = None,
+    requires_grad: bool = False,
+    dtype=None,
+) -> Tensor:
     """Standard-normal tensor (pass ``rng`` for determinism)."""
     generator = rng or np.random.default_rng()
-    return Tensor(generator.standard_normal(shape), requires_grad=requires_grad)
+    sample = generator.standard_normal(shape).astype(
+        dtype or get_default_dtype(), copy=False
+    )
+    return Tensor(sample, requires_grad=requires_grad)
 
 
-def arange(*args, requires_grad: bool = False) -> Tensor:
+def arange(*args, requires_grad: bool = False, dtype=None) -> Tensor:
     """Float range tensor (numpy.arange semantics)."""
-    return Tensor(np.arange(*args, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+    return Tensor(
+        np.arange(*args, dtype=dtype or get_default_dtype()), requires_grad=requires_grad
+    )

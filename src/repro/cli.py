@@ -6,11 +6,13 @@ Subcommands::
     python -m repro cluster  --dataset PEMS08 -k 8 -p 12 [--save protos.npz]
     python -m repro run      --model FOCUS --dataset PEMS08 --epochs 6
     python -m repro profile  --model FOCUS --dataset PEMS08 --lookback 384
+    python -m repro profile  --ops --dtype float32   # per-op wall clock
     python -m repro compare  --dataset PEMS08 --models FOCUS,DLinear,PatchTST
     python -m repro bench    [--quick] [--out BENCH_hotpath.json]
 
 All commands operate on the synthetic dataset surrogates (seeded, see
-DESIGN.md) and print plain-text tables.
+DESIGN.md) and print plain-text tables.  Model-building commands accept
+``--dtype float32`` to run the whole pipeline in single precision.
 """
 
 from __future__ import annotations
@@ -27,6 +29,10 @@ def _add_common_model_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--lookback", type=int, default=96)
     parser.add_argument("--horizon", type=int, default=24)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--dtype", default="float64", choices=["float32", "float64"],
+        help="default floating dtype for parameters and activations",
+    )
 
 
 def _cmd_datasets(_args) -> int:
@@ -124,11 +130,52 @@ def _cmd_profile(args) -> int:
         seed=args.seed,
     )
     model = build_model(config, data)
+    if args.ops:
+        return _profile_wall_clock(args, data, model)
     report = profile_model(model, (1, args.lookback, data.num_entities))
     print(f"{args.model} @ L={args.lookback}, N={data.num_entities}: {report}")
     top = sorted(report.per_op_flops.items(), key=lambda kv: -kv[1])[:8]
     for op_name, flops in top:
         print(f"  {op_name:20s} {flops / 1e6:10.2f} MFLOPs")
+    return 0
+
+
+def _profile_wall_clock(args, data, model) -> int:
+    """``repro profile --ops``: per-op wall clock over one training step."""
+    from repro.autograd import Tensor, get_default_dtype
+    from repro.optim import AdamW
+    from repro.profiling import profile_ops
+
+    dtype = get_default_dtype()
+    rng = np.random.default_rng(args.seed)
+    x = Tensor(
+        rng.standard_normal(
+            (args.batch_size, args.lookback, data.num_entities)
+        ).astype(dtype)
+    )
+    y = Tensor(
+        rng.standard_normal(
+            (args.batch_size, args.horizon, data.num_entities)
+        ).astype(dtype)
+    )
+    optimizer = AdamW(model.parameters(), lr=1e-3)
+    # Warm-up step so lazily-built caches don't pollute the profile.
+    loss = ((model(x) - y) ** 2.0).mean()
+    optimizer.zero_grad()
+    loss.backward()
+    optimizer.step()
+    with profile_ops() as prof:
+        loss = ((model(x) - y) ** 2.0).mean()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        prof.note("optimizer.step")
+    print(
+        f"{args.model} @ L={args.lookback}, N={data.num_entities}, "
+        f"batch={args.batch_size}, dtype={np.dtype(dtype).name} — one training "
+        f"step, {prof.total_seconds * 1e3:.1f}ms total"
+    )
+    print(prof.table(top=args.top))
     return 0
 
 
@@ -186,6 +233,14 @@ def _cmd_bench(args) -> int:
         f"({streaming['observe_us']:.1f}us/observe), "
         f"forecast {streaming['forecast_ms']:.2f}ms"
     )
+    step = report["training_step"]
+    print(
+        f"  training step  : float64 {step['float64_ms']:.1f}ms vs "
+        f"float32 {step['float32_ms']:.1f}ms  ({step['speedup_fp32']:.2f}x); "
+        f"allocations/step {step['allocs_per_step_legacy']} -> "
+        f"{step['allocs_per_step_inplace']} "
+        f"(-{step['alloc_reduction']:.0%})"
+    )
     if not clustering["equivalent_1e8"]:
         print("WARNING: vectorized and loop prototypes diverge beyond 1e-8")
         return 1
@@ -237,9 +292,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.set_defaults(func=_cmd_run)
 
-    profile = sub.add_parser("profile", help="analytic FLOPs/memory/params")
+    profile = sub.add_parser(
+        "profile", help="analytic FLOPs/memory/params, or --ops wall clock"
+    )
     _add_common_model_args(profile)
     profile.add_argument("--model", default="FOCUS")
+    profile.add_argument(
+        "--ops", action="store_true",
+        help="measure per-op wall clock over one training step instead of "
+             "analytic FLOPs",
+    )
+    profile.add_argument("--batch-size", type=int, default=32)
+    profile.add_argument(
+        "--top", type=int, default=None,
+        help="with --ops: show only the N most expensive ops",
+    )
     profile.set_defaults(func=_cmd_profile)
 
     compare = sub.add_parser("compare", help="train several models, rank by MSE")
@@ -262,6 +329,10 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "dtype", None):
+        from repro.autograd import set_default_dtype
+
+        set_default_dtype(np.dtype(args.dtype))
     return args.func(args)
 
 

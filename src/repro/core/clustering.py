@@ -24,6 +24,7 @@ import numpy as np
 
 from repro import autograd as ag
 from repro.autograd import Tensor
+from repro.autograd.tensor import get_default_dtype
 from repro.data.segments import segment_series
 from repro.optim import AdamW
 
@@ -130,7 +131,7 @@ class SegmentClusterer:
     # Fitting
     # ------------------------------------------------------------------
     def _as_segments(self, data: np.ndarray) -> np.ndarray:
-        data = np.asarray(data, dtype=np.float64)
+        data = np.asarray(data, dtype=get_default_dtype())
         p = self.config.segment_length
         if data.ndim == 2 and data.shape[1] == p:
             return data
@@ -236,7 +237,7 @@ class SegmentClusterer:
         params = Tensor(prototypes.copy(), requires_grad=True)  # (k, p)
         optimizer = AdamW([params], lr=cfg.lr, weight_decay=cfg.weight_decay)
 
-        counts = np.bincount(labels, minlength=k).astype(np.float64)
+        counts = np.bincount(labels, minlength=k).astype(segments.dtype)
         occupied = counts > 0
         sums = np.zeros_like(prototypes)
         np.add.at(sums, labels, segments)
@@ -259,7 +260,7 @@ class SegmentClusterer:
             np.add.at(unit_mean, labels, unit)
             unit_mean /= np.maximum(counts, 1.0)[:, None]
             unit_mean = Tensor(unit_mean)
-            corr_mask = Tensor(occupied.astype(np.float64))
+            corr_mask = Tensor(occupied.astype(segments.dtype))
 
         final_loss = 0.0
         for _ in range(cfg.refine_steps):

@@ -56,7 +56,7 @@ class DeepProtoBlock(Module):
         keys = self.w_k(tokens)
         values = self.w_v(tokens)
         scores = ag.matmul(self.proto_queries, ag.swapaxes(keys, -1, -2))
-        scores = scores * (1.0 / np.sqrt(self.d_model))
+        scores = scores * float(1.0 / np.sqrt(self.d_model))
         attention = ag.softmax(scores, axis=-1)  # (B', k, l)
         context = ag.matmul(attention, values)  # (B', k, d)
         mixed = ag.matmul(Tensor(assignment), context)  # (B', l, d)

@@ -56,7 +56,7 @@ class ParallelFusion(Module):
     def _readout(self, queries: Tensor, features: Tensor) -> Tensor:
         """Algorithm 4 lines 2-4: ``softmax(Q H^T / sqrt(d)) H``."""
         scores = ag.matmul(queries, ag.swapaxes(features, -1, -2))
-        scores = scores * (1.0 / np.sqrt(self.d_model))
+        scores = scores * float(1.0 / np.sqrt(self.d_model))
         weights = ag.softmax(scores, axis=-1)  # (B, N, m, l)
         return ag.matmul(weights, features)  # (B, N, m, d)
 

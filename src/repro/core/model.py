@@ -23,6 +23,7 @@ import numpy as np
 
 from repro import autograd as ag
 from repro.autograd import Tensor
+from repro.autograd.tensor import get_default_dtype
 from repro.core.clustering import ClusteringConfig, SegmentClusterer
 from repro.core.extractor import DualBranchExtractor
 from repro.core.fusion import GatedLinearFusion, ParallelFusion
@@ -101,10 +102,13 @@ class FOCUSForecaster(Module):
         self.fusion_kind = fusion
         if prototypes is None:
             # Placeholder prototypes; fit_prototypes() replaces them.
-            prototypes = np.zeros((config.num_prototypes, config.segment_length))
+            prototypes = np.zeros(
+                (config.num_prototypes, config.segment_length),
+                dtype=get_default_dtype(),
+            )
             self._has_prototypes = mixer != "proto"
         else:
-            prototypes = np.asarray(prototypes, dtype=np.float64)
+            prototypes = np.asarray(prototypes, dtype=get_default_dtype())
             expected = (config.num_prototypes, config.segment_length)
             if prototypes.shape != expected:
                 raise ValueError(
@@ -159,7 +163,7 @@ class FOCUSForecaster(Module):
         return clusterer
 
     def set_prototypes(self, prototypes: np.ndarray) -> None:
-        prototypes = np.asarray(prototypes, dtype=np.float64)
+        prototypes = np.asarray(prototypes, dtype=get_default_dtype())
         for mixer in (self.extractor.temporal_mixer, self.extractor.entity_mixer):
             if hasattr(mixer, "prototypes"):
                 mixer.prototypes[...] = prototypes
@@ -184,8 +188,9 @@ class FOCUSForecaster(Module):
         Used by streaming adaptation: updating a single row avoids
         rebuilding the full ``(k, p)`` dictionary per novel segment.
         """
-        value = np.asarray(value, dtype=np.float64)
+        value = np.asarray(value)
         for mixer in (self.extractor.temporal_mixer, self.extractor.entity_mixer):
+            # Row assignment below casts to each mixer's prototype dtype.
             if hasattr(mixer, "prototypes"):
                 mixer.prototypes[index] = value
                 if hasattr(mixer, "invalidate_cache"):

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro import autograd as ag
 from repro.autograd import Tensor
+from repro.autograd.tensor import get_default_dtype
 from repro.core.clustering import composite_distance
 from repro.nn import Linear, Module
 from repro.profiling.counter import active_counter
@@ -64,7 +65,7 @@ class ProtoAttn(Module):
             raise ValueError("temperature must be positive")
         self.assignment_mode = assignment
         self.temperature = temperature
-        prototypes = np.asarray(prototypes, dtype=np.float64)
+        prototypes = np.asarray(prototypes, dtype=get_default_dtype())
         if prototypes.ndim != 2:
             raise ValueError("prototypes must be (k, p)")
         self.num_prototypes, self.segment_length = prototypes.shape
@@ -164,7 +165,7 @@ class ProtoAttn(Module):
 
         # Eq. (16)+(18): prototype-to-segment attention, then route via A.
         scores = ag.matmul(proto_queries, ag.swapaxes(keys, -1, -2))  # (B, k, l)
-        scores = scores * (1.0 / np.sqrt(self.d_model))
+        scores = scores * float(1.0 / np.sqrt(self.d_model))
         attention = ag.softmax(scores, axis=-1)
         self.last_attention_ = attention.data
         proto_context = ag.matmul(attention, values)  # (B, k, d)

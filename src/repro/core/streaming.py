@@ -139,7 +139,8 @@ class StreamingFOCUS:
         # True ring buffer: ``_ring`` is fixed storage, ``_head`` the next
         # write slot.  ``observe`` is an O(N) row write — the O(L·N) copy
         # of the previous np.roll-based implementation is gone.
-        self._ring = np.zeros((config.lookback, config.num_entities))
+        model_dtype = next(iter(model.parameters())).data.dtype
+        self._ring = np.zeros((config.lookback, config.num_entities), dtype=model_dtype)
         self._head = 0
         self._filled = 0
         self._distance_history: list[float] = []
@@ -213,7 +214,7 @@ class StreamingFOCUS:
         ``"reject"`` a bad observation is dropped entirely (the ring and
         the ``observations`` counter are untouched).
         """
-        observation = np.asarray(observation, dtype=np.float64)
+        observation = np.asarray(observation, dtype=self._ring.dtype)
         if observation.shape != (self.model.config.num_entities,):
             raise ValueError(
                 f"expected ({self.model.config.num_entities},) observation, "
@@ -234,7 +235,7 @@ class StreamingFOCUS:
 
     def observe_many(self, observations: np.ndarray) -> None:
         """Push a ``(T, N)`` block of observations."""
-        observations = np.asarray(observations, dtype=np.float64)
+        observations = np.asarray(observations, dtype=self._ring.dtype)
         if self.adapt_prototypes:
             # Adaptation checks fire on per-segment boundaries; route
             # through observe() (now cheap) to keep them exact.

@@ -24,7 +24,7 @@ def scaled_dot_product_attention(
     broadcastable to the score shape (use ``-inf`` to block positions).
     """
     d_k = query.shape[-1]
-    scores = matmul(query, swapaxes(key, -1, -2)) * (1.0 / np.sqrt(d_k))
+    scores = matmul(query, swapaxes(key, -1, -2)) * float(1.0 / np.sqrt(d_k))
     if mask is not None:
         scores = scores + Tensor(mask)
     weights = softmax(scores, axis=-1)

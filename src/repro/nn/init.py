@@ -2,11 +2,18 @@
 
 All layers draw their initial weights from a single module-level generator
 so that ``init.seed(n)`` makes model construction fully reproducible.
+
+Samples are always drawn in float64 from the same RNG stream and then cast
+to the active default dtype (see :func:`repro.autograd.set_default_dtype`),
+so a float32 model is initialised with the rounded values of its float64
+twin — which is what makes cross-precision equivalence tests meaningful.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.autograd.tensor import get_default_dtype
 
 _GENERATOR = np.random.default_rng(0)
 
@@ -22,14 +29,18 @@ def get_rng() -> np.random.Generator:
     return _GENERATOR
 
 
-def uniform(shape, low: float = -0.1, high: float = 0.1) -> np.ndarray:
+def _cast(sample: np.ndarray, dtype) -> np.ndarray:
+    return sample.astype(dtype or get_default_dtype(), copy=False)
+
+
+def uniform(shape, low: float = -0.1, high: float = 0.1, dtype=None) -> np.ndarray:
     """Uniform initialization in [low, high)."""
-    return _GENERATOR.uniform(low, high, size=shape)
+    return _cast(_GENERATOR.uniform(low, high, size=shape), dtype)
 
 
-def normal(shape, std: float = 0.02) -> np.ndarray:
+def normal(shape, std: float = 0.02, dtype=None) -> np.ndarray:
     """Zero-mean Gaussian initialization."""
-    return _GENERATOR.normal(0.0, std, size=shape)
+    return _cast(_GENERATOR.normal(0.0, std, size=shape), dtype)
 
 
 def _fan_in_out(shape) -> tuple[int, int]:
@@ -42,26 +53,26 @@ def _fan_in_out(shape) -> tuple[int, int]:
     return fan_in, fan_out
 
 
-def xavier_uniform(shape, gain: float = 1.0) -> np.ndarray:
+def xavier_uniform(shape, gain: float = 1.0, dtype=None) -> np.ndarray:
     """Glorot uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
     fan_in, fan_out = _fan_in_out(shape)
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return _GENERATOR.uniform(-bound, bound, size=shape)
+    return _cast(_GENERATOR.uniform(-bound, bound, size=shape), dtype)
 
 
-def kaiming_uniform(shape, a: float = np.sqrt(5.0)) -> np.ndarray:
+def kaiming_uniform(shape, a: float = np.sqrt(5.0), dtype=None) -> np.ndarray:
     """He uniform (torch's Linear/Conv default with a=sqrt(5))."""
     fan_in, _ = _fan_in_out(shape)
     gain = np.sqrt(2.0 / (1.0 + a**2))
     bound = gain * np.sqrt(3.0 / fan_in)
-    return _GENERATOR.uniform(-bound, bound, size=shape)
+    return _cast(_GENERATOR.uniform(-bound, bound, size=shape), dtype)
 
 
-def zeros(shape) -> np.ndarray:
+def zeros(shape, dtype=None) -> np.ndarray:
     """All-zeros initialization."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=dtype or get_default_dtype())
 
 
-def ones(shape) -> np.ndarray:
+def ones(shape, dtype=None) -> np.ndarray:
     """All-ones initialization."""
-    return np.ones(shape)
+    return np.ones(shape, dtype=dtype or get_default_dtype())

@@ -97,6 +97,21 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    def to_dtype(self, dtype) -> "Module":
+        """Cast all parameters and float buffers to ``dtype`` (in place)."""
+        dtype = np.dtype(dtype)
+        for _, param in self.named_parameters():
+            param.data = param.data.astype(dtype, copy=False)
+            if param.grad is not None:
+                param.grad = param.grad.astype(dtype, copy=False)
+        for _, module in self.named_modules():
+            for buf_name, buf in list(module._buffers.items()):
+                if buf.dtype.kind == "f" and buf.dtype != dtype:
+                    cast = buf.astype(dtype)
+                    module._buffers[buf_name] = cast
+                    object.__setattr__(module, buf_name, cast)
+        return self
+
     # ------------------------------------------------------------------
     # Serialization (flat npz-compatible dict of ndarrays)
     # ------------------------------------------------------------------

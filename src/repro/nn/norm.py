@@ -9,9 +9,8 @@ on the forecast before computing the loss.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.autograd import Tensor, mean, sqrt, var
+from repro.nn import init
 from repro.nn.module import Module, Parameter
 
 
@@ -24,8 +23,8 @@ class LayerNorm(Module):
             normalized_shape = (normalized_shape,)
         self.normalized_shape = tuple(normalized_shape)
         self.eps = eps
-        self.weight = Parameter(np.ones(self.normalized_shape))
-        self.bias = Parameter(np.zeros(self.normalized_shape))
+        self.weight = Parameter(init.ones(self.normalized_shape))
+        self.bias = Parameter(init.zeros(self.normalized_shape))
 
     def forward(self, x: Tensor) -> Tensor:
         axes = tuple(range(x.ndim - len(self.normalized_shape), x.ndim))
@@ -50,10 +49,10 @@ class BatchNorm1d(Module):
         self.num_features = num_features
         self.eps = eps
         self.momentum = momentum
-        self.weight = Parameter(np.ones(num_features))
-        self.bias = Parameter(np.zeros(num_features))
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
+        self.weight = Parameter(init.ones(num_features))
+        self.bias = Parameter(init.zeros(num_features))
+        self.register_buffer("running_mean", init.zeros(num_features))
+        self.register_buffer("running_var", init.ones(num_features))
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim not in (2, 3):
@@ -96,8 +95,8 @@ class RevIN(Module):
         self.eps = eps
         self.affine = affine
         if affine:
-            self.weight = Parameter(np.ones(num_features))
-            self.bias = Parameter(np.zeros(num_features))
+            self.weight = Parameter(init.ones(num_features))
+            self.bias = Parameter(init.zeros(num_features))
         self._last_mean: Tensor | None = None
         self._last_std: Tensor | None = None
 

@@ -1,4 +1,14 @@
-"""First-order optimizers over :class:`repro.autograd.Tensor` parameters."""
+"""First-order optimizers over :class:`repro.autograd.Tensor` parameters.
+
+All optimizers default to in-place updates (``in_place=True``): moment
+buffers and weights are updated with ``np.multiply/np.add(..., out=...)``
+through a small per-shape scratch pool, so a step allocates zero
+temporaries once the pool is warm.  The in-place sequences replay the
+exact numpy operations of the original out-of-place implementation
+(scalar factors commute bitwise), so results are bit-identical; pass
+``in_place=False`` to run the historical reference path, kept as the
+bit-stability oracle and for the allocation benchmark.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +17,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.autograd import Tensor
+from repro.autograd.tensor import note_alloc
 
 
 def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
@@ -23,16 +34,37 @@ def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
     return total
 
 
+def _noted(array: np.ndarray) -> np.ndarray:
+    note_alloc(array)
+    return array
+
+
 class Optimizer:
     """Base optimizer holding a parameter list."""
 
-    def __init__(self, parameters: Sequence[Tensor], lr: float):
+    def __init__(self, parameters: Sequence[Tensor], lr: float, in_place: bool = True):
         self.parameters = list(parameters)
         if not self.parameters:
             raise ValueError("optimizer received no parameters")
         if lr <= 0:
             raise ValueError("learning rate must be positive")
         self.lr = lr
+        self.in_place = in_place
+        self._scratch_pool: dict[tuple, np.ndarray] = {}
+
+    def _scratch(self, like: np.ndarray, slot: int = 0) -> np.ndarray:
+        """Reusable uninitialised buffer matching ``like``'s shape/dtype."""
+        key = (like.shape, like.dtype.str, slot)
+        buf = self._scratch_pool.get(key)
+        if buf is None:
+            buf = np.empty_like(like)
+            note_alloc(buf)
+            self._scratch_pool[key] = buf
+        return buf
+
+    def cast_state(self, dtype) -> None:
+        """Cast optimizer state buffers to ``dtype`` (e.g. on resume)."""
+        self._scratch_pool.clear()
 
     def zero_grad(self) -> None:
         for p in self.parameters:
@@ -45,21 +77,42 @@ class Optimizer:
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
 
-    def __init__(self, parameters: Sequence[Tensor], lr: float, momentum: float = 0.0):
-        super().__init__(parameters, lr)
+    def __init__(
+        self,
+        parameters: Sequence[Tensor],
+        lr: float,
+        momentum: float = 0.0,
+        in_place: bool = True,
+    ):
+        super().__init__(parameters, lr, in_place=in_place)
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def cast_state(self, dtype) -> None:
+        super().cast_state(dtype)
+        dtype = np.dtype(dtype)
+        self._velocity = [v.astype(dtype, copy=False) for v in self._velocity]
 
     def step(self) -> None:
         for p, vel in zip(self.parameters, self._velocity):
             if p.grad is None:
                 continue
+            if not self.in_place:
+                if self.momentum:
+                    vel *= self.momentum
+                    vel += p.grad
+                    p.data -= _noted(self.lr * vel)
+                else:
+                    p.data -= _noted(self.lr * p.grad)
+                continue
+            s = self._scratch(p.data)
             if self.momentum:
-                vel *= self.momentum
-                vel += p.grad
-                p.data -= self.lr * vel
+                np.multiply(vel, self.momentum, out=vel)
+                np.add(vel, p.grad, out=vel)
+                np.multiply(vel, self.lr, out=s)
             else:
-                p.data -= self.lr * p.grad
+                np.multiply(p.grad, self.lr, out=s)
+            np.subtract(p.data, s, out=p.data)
 
 
 class Adam(Optimizer):
@@ -76,8 +129,9 @@ class Adam(Optimizer):
         betas: tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
         weight_decay: float = 0.0,
+        in_place: bool = True,
     ):
-        super().__init__(parameters, lr)
+        super().__init__(parameters, lr, in_place=in_place)
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
@@ -85,14 +139,48 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
 
+    def cast_state(self, dtype) -> None:
+        super().cast_state(dtype)
+        dtype = np.dtype(dtype)
+        self._m = [m.astype(dtype, copy=False) for m in self._m]
+        self._v = [v.astype(dtype, copy=False) for v in self._v]
+
     def _update(self, p: Tensor, m: np.ndarray, v: np.ndarray, grad: np.ndarray) -> None:
+        if not self.in_place:
+            self._update_reference(p, m, v, grad)
+            return
+        # Same numpy op sequence as the reference path, routed through two
+        # scratch buffers: results are bit-identical, zero temporaries.
+        s = self._scratch(p.data, 0)
+        t = self._scratch(p.data, 1)
+        np.multiply(m, self.beta1, out=m)
+        np.multiply(grad, 1.0 - self.beta1, out=s)
+        np.add(m, s, out=m)
+        np.multiply(v, self.beta2, out=v)
+        np.multiply(grad, grad, out=s)
+        np.multiply(s, 1.0 - self.beta2, out=s)
+        np.add(v, s, out=v)
+        np.divide(m, 1.0 - self.beta1**self._step_count, out=s)
+        np.multiply(s, self.lr, out=s)
+        np.divide(v, 1.0 - self.beta2**self._step_count, out=t)
+        np.sqrt(t, out=t)
+        np.add(t, self.eps, out=t)
+        np.divide(s, t, out=s)
+        np.subtract(p.data, s, out=p.data)
+
+    def _update_reference(
+        self, p: Tensor, m: np.ndarray, v: np.ndarray, grad: np.ndarray
+    ) -> None:
+        # Historical out-of-place implementation (bit-stability oracle).
         m *= self.beta1
-        m += (1.0 - self.beta1) * grad
+        m += _noted((1.0 - self.beta1) * grad)
         v *= self.beta2
-        v += (1.0 - self.beta2) * grad**2
-        m_hat = m / (1.0 - self.beta1**self._step_count)
-        v_hat = v / (1.0 - self.beta2**self._step_count)
-        p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        v += _noted((1.0 - self.beta2) * _noted(grad**2))
+        m_hat = _noted(m / (1.0 - self.beta1**self._step_count))
+        v_hat = _noted(v / (1.0 - self.beta2**self._step_count))
+        p.data -= _noted(
+            _noted(self.lr * m_hat) / _noted(_noted(np.sqrt(v_hat)) + self.eps)
+        )
 
     def step(self) -> None:
         self._step_count += 1
@@ -101,7 +189,13 @@ class Adam(Optimizer):
                 continue
             grad = p.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                if self.in_place:
+                    s = self._scratch(p.data, 2)
+                    np.multiply(p.data, self.weight_decay, out=s)
+                    np.add(grad, s, out=s)
+                    grad = s
+                else:
+                    grad = _noted(grad + _noted(self.weight_decay * p.data))
             self._update(p, m, v, grad)
 
 
@@ -120,8 +214,9 @@ class AdamW(Adam):
         betas: tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
         weight_decay: float = 0.01,
+        in_place: bool = True,
     ):
-        super().__init__(parameters, lr, betas, eps, weight_decay=0.0)
+        super().__init__(parameters, lr, betas, eps, weight_decay=0.0, in_place=in_place)
         self.decoupled_weight_decay = weight_decay
 
     def step(self) -> None:
@@ -130,5 +225,10 @@ class AdamW(Adam):
             if p.grad is None:
                 continue
             if self.decoupled_weight_decay:
-                p.data -= self.lr * self.decoupled_weight_decay * p.data
+                if self.in_place:
+                    s = self._scratch(p.data, 2)
+                    np.multiply(p.data, self.lr * self.decoupled_weight_decay, out=s)
+                    np.subtract(p.data, s, out=p.data)
+                else:
+                    p.data -= _noted(self.lr * self.decoupled_weight_decay * p.data)
             self._update(p, m, v, p.grad)

@@ -10,12 +10,22 @@ instrumentation is needed.
 
 from repro.profiling.bench import run_benchmarks, write_report
 from repro.profiling.counter import OpCounter, ProfileReport, count_ops, profile_model
+from repro.profiling.profiler import (
+    AllocationCounter,
+    OpProfiler,
+    profile_ops,
+    track_allocations,
+)
 
 __all__ = [
+    "AllocationCounter",
     "OpCounter",
+    "OpProfiler",
     "ProfileReport",
     "count_ops",
     "profile_model",
+    "profile_ops",
     "run_benchmarks",
+    "track_allocations",
     "write_report",
 ]

@@ -1,6 +1,6 @@
 """Hot-path micro-benchmarks behind ``repro bench`` / BENCH_hotpath.json.
 
-Three wall-clock measurements on pinned synthetic configurations, chosen
+Four wall-clock measurements on pinned synthetic configurations, chosen
 so every future change has a performance trajectory to compare against:
 
 1. **Offline clustering fit** — the vectorized ``(k, p)`` prototype
@@ -10,6 +10,9 @@ so every future change has a performance trajectory to compare against:
    projection against a forward that recomputes C_Q every call.
 3. **Streaming throughput** — ring-buffer ``observe`` steps/second and
    end-to-end ``forecast`` latency.
+4. **Training step** — one full fwd+MSE+bwd+clip+AdamW step on a pinned
+   FOCUS model, float64 vs float32 latency plus the per-step engine
+   allocation count with in-place vs legacy gradient accumulation.
 
 ``run_benchmarks`` returns a JSON-serializable report (see
 ``docs/reproducing_the_paper.md`` for the schema); the ``repro bench``
@@ -27,7 +30,7 @@ import numpy as np
 from repro import autograd as ag
 from repro.autograd import Tensor
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 # Pinned dimensions: large enough that the hot paths dominate, small
 # enough that the full benchmark stays under ~1 minute on CPU.
@@ -43,6 +46,13 @@ _STREAM_FULL = {"lookback": 96, "entities": 8, "segment_length": 12,
                 "num_prototypes": 8, "d_model": 16, "steps": 4096, "forecasts": 5}
 _STREAM_QUICK = {"lookback": 48, "entities": 4, "segment_length": 12,
                  "num_prototypes": 4, "d_model": 8, "steps": 512, "forecasts": 2}
+
+_STEP_FULL = {"lookback": 192, "horizon": 24, "entities": 16, "segment_length": 16,
+              "num_prototypes": 8, "d_model": 96, "batch": 32,
+              "warmup": 2, "rounds": 10}
+_STEP_QUICK = {"lookback": 96, "horizon": 12, "entities": 8, "segment_length": 12,
+               "num_prototypes": 4, "d_model": 32, "batch": 8,
+               "warmup": 1, "rounds": 3}
 
 
 def _motif_segments(n_per_motif: int, p: int, k: int, seed: int = 7) -> np.ndarray:
@@ -171,8 +181,110 @@ def bench_streaming(quick: bool = False) -> dict:
     }
 
 
+def _build_step_fixture(dims: dict, dtype) -> tuple:
+    """Seeded FOCUS model + AdamW + one pinned batch in ``dtype``."""
+    from repro.core.model import FOCUSConfig, FOCUSForecaster
+    from repro.nn import init as nn_init
+    from repro.optim import AdamW
+
+    rng = np.random.default_rng(5)
+    with ag.default_dtype(dtype):
+        nn_init.seed(0)
+        config = FOCUSConfig(
+            lookback=dims["lookback"],
+            horizon=dims["horizon"],
+            num_entities=dims["entities"],
+            segment_length=dims["segment_length"],
+            num_prototypes=dims["num_prototypes"],
+            d_model=dims["d_model"],
+            num_readout=2,
+        )
+        model = FOCUSForecaster(
+            config,
+            prototypes=rng.standard_normal(
+                (dims["num_prototypes"], dims["segment_length"])
+            ),
+        )
+    optimizer = AdamW(model.parameters(), lr=1e-3)
+    x = Tensor(
+        rng.standard_normal(
+            (dims["batch"], dims["lookback"], dims["entities"])
+        ).astype(dtype)
+    )
+    y = Tensor(
+        rng.standard_normal(
+            (dims["batch"], dims["horizon"], dims["entities"])
+        ).astype(dtype)
+    )
+    return model, optimizer, x, y
+
+
+def _one_step(model, optimizer, x, y, legacy: bool = False) -> None:
+    """One full training step: forward, MSE, backward, clip, update."""
+    from repro.optim import clip_grad_norm
+
+    pred = model(x)
+    loss = ((pred - y) ** 2.0).mean()
+    optimizer.zero_grad()
+    if legacy:
+        with ag.legacy_accumulation():
+            loss.backward()
+    else:
+        loss.backward()
+    clip_grad_norm(optimizer.parameters, 5.0)
+    optimizer.step()
+
+
+def bench_training_step(quick: bool = False) -> dict:
+    """Full fwd+bwd+step latency: float64 vs float32, and per-step
+    engine allocation counts with the in-place vs legacy accumulation."""
+    from repro.optim import AdamW
+    from repro.profiling.profiler import track_allocations
+
+    dims = _STEP_QUICK if quick else _STEP_FULL
+    timings = {}
+    for dtype in (np.float64, np.float32):
+        model, optimizer, x, y = _build_step_fixture(dims, dtype)
+        for _ in range(dims["warmup"]):
+            _one_step(model, optimizer, x, y)
+        started = time.perf_counter()
+        for _ in range(dims["rounds"]):
+            _one_step(model, optimizer, x, y)
+        timings[np.dtype(dtype).name] = (
+            (time.perf_counter() - started) / dims["rounds"] * 1e3
+        )
+
+    # Allocation counts (float64, steady state: scratch pools are warm).
+    model, optimizer, x, y = _build_step_fixture(dims, np.float64)
+    _one_step(model, optimizer, x, y)
+    with track_allocations() as allocs:
+        _one_step(model, optimizer, x, y)
+    inplace_allocs, inplace_bytes = allocs.count, allocs.bytes
+
+    model, optimizer, x, y = _build_step_fixture(dims, np.float64)
+    optimizer = AdamW(model.parameters(), lr=1e-3, in_place=False)
+    _one_step(model, optimizer, x, y, legacy=True)
+    with track_allocations() as allocs:
+        _one_step(model, optimizer, x, y, legacy=True)
+    legacy_allocs, legacy_bytes = allocs.count, allocs.bytes
+
+    return {
+        "config": dict(dims),
+        "float64_ms": round(timings["float64"], 3),
+        "float32_ms": round(timings["float32"], 3),
+        "speedup_fp32": round(timings["float64"] / timings["float32"], 2),
+        "allocs_per_step_inplace": inplace_allocs,
+        "allocs_per_step_legacy": legacy_allocs,
+        "alloc_bytes_inplace": inplace_bytes,
+        "alloc_bytes_legacy": legacy_bytes,
+        "alloc_reduction": round(
+            1.0 - inplace_allocs / legacy_allocs, 3
+        ) if legacy_allocs else 0.0,
+    }
+
+
 def run_benchmarks(quick: bool = False) -> dict:
-    """Run all three hot-path benchmarks; returns the report dict."""
+    """Run all four hot-path benchmarks; returns the report dict."""
     return {
         "schema": SCHEMA_VERSION,
         "mode": "quick" if quick else "full",
@@ -180,6 +292,7 @@ def run_benchmarks(quick: bool = False) -> dict:
         "clustering_fit": bench_clustering(quick),
         "protoattn_forward": bench_protoattn(quick),
         "streaming": bench_streaming(quick),
+        "training_step": bench_training_step(quick),
     }
 
 

@@ -28,7 +28,7 @@ import numpy as np
 from repro.autograd.tensor import get_op_observer, set_op_observer
 from repro.autograd import Tensor, no_grad
 
-_BYTES_PER_ELEMENT = 8  # float64 engine
+_BYTES_PER_ELEMENT = 8  # fallback when an op reports no dtype (float64)
 
 # Elementwise cost multipliers for transcendental-ish ops; everything not
 # listed costs 1 FLOP per output element.
@@ -128,12 +128,15 @@ class OpCounter:
         self.activation_bytes = 0
         self.per_op_flops: defaultdict[str, int] = defaultdict(int)
 
-    def __call__(self, op_name: str, out_shape: tuple, parent_shapes: list[tuple]) -> None:
+    def __call__(
+        self, op_name: str, out_shape: tuple, parent_shapes: list[tuple], dtype=None
+    ) -> None:
         flops = _op_flops(op_name, out_shape, parent_shapes)
         self.flops += flops
         self.per_op_flops[op_name] += flops
         out_elems = int(np.prod(out_shape)) if out_shape else 1
-        self.activation_bytes += out_elems * _BYTES_PER_ELEMENT
+        itemsize = np.dtype(dtype).itemsize if dtype is not None else _BYTES_PER_ELEMENT
+        self.activation_bytes += out_elems * itemsize
 
     def add_flops(self, amount: int, label: str = "external") -> None:
         """Record FLOPs done outside the autograd graph (numpy code)."""

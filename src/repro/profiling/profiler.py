@@ -1,0 +1,171 @@
+"""Wall-clock op profiling and engine allocation tracking.
+
+Two observers complement the analytic :class:`~repro.profiling.counter.
+OpCounter`:
+
+- :class:`OpProfiler` hooks the same ``set_op_observer`` channel but
+  measures *wall clock*: the time between consecutive op constructions is
+  attributed to the op that just finished, giving a per-op latency table
+  for real forward passes.  Setting ``wants_backward`` makes the backward
+  pass report one ``"<op>.bwd"`` event per interior node, so backward
+  time is attributed too.
+- :class:`AllocationCounter` hooks ``set_alloc_observer`` and counts the
+  gradient/optimizer buffers the engine allocates — the quantity the
+  in-place backward/optimizer work drives toward zero.
+
+Use :func:`profile_ops` / :func:`track_allocations` as context managers::
+
+    with profile_ops() as prof:
+        loss = model(x).sum()
+        loss.backward()
+    print(prof.table())
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import time
+from collections import defaultdict
+
+import numpy as np
+
+from repro.autograd.tensor import (
+    get_alloc_observer,
+    get_op_observer,
+    set_alloc_observer,
+    set_op_observer,
+)
+
+
+@dataclasses.dataclass
+class OpStats:
+    """Accumulated wall-clock statistics for one op name."""
+
+    calls: int = 0
+    seconds: float = 0.0
+    bytes: int = 0
+
+    @property
+    def mean_us(self) -> float:
+        return 1e6 * self.seconds / self.calls if self.calls else 0.0
+
+
+class OpProfiler:
+    """Attribute wall-clock time to autograd ops as they are constructed.
+
+    The engine reports an op *after* computing its output, so the time
+    elapsed since the previous report is (to good approximation on this
+    single-threaded engine) the cost of the op just finished, plus any
+    non-op Python in between.  Call :meth:`mark` when entering a profiled
+    region so the first op is not charged for unrelated setup, and
+    :meth:`note` to close out a named non-op region (e.g. the optimizer
+    step).
+    """
+
+    wants_backward = True  # also receive "<op>.bwd" events from backward()
+
+    def __init__(self):
+        self.stats: defaultdict[str, OpStats] = defaultdict(OpStats)
+        self._last = time.perf_counter()
+
+    def mark(self) -> None:
+        """Reset the attribution clock (start of a profiled region)."""
+        self._last = time.perf_counter()
+
+    def __call__(self, op_name: str, out_shape, parent_shapes, dtype=None) -> None:
+        now = time.perf_counter()
+        entry = self.stats[op_name]
+        entry.calls += 1
+        entry.seconds += now - self._last
+        out_elems = int(np.prod(out_shape)) if out_shape else 1
+        itemsize = np.dtype(dtype).itemsize if dtype is not None else 8
+        entry.bytes += out_elems * itemsize
+        self._last = now
+
+    def note(self, label: str) -> None:
+        """Attribute the time since the last event to a named region."""
+        now = time.perf_counter()
+        entry = self.stats[label]
+        entry.calls += 1
+        entry.seconds += now - self._last
+        self._last = now
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(entry.seconds for entry in self.stats.values())
+
+    def rows(self) -> list[dict]:
+        """Per-op records sorted by total time, descending."""
+        total = self.total_seconds or 1.0
+        return [
+            {
+                "op": name,
+                "calls": entry.calls,
+                "total_ms": 1e3 * entry.seconds,
+                "mean_us": entry.mean_us,
+                "share": entry.seconds / total,
+                "bytes": entry.bytes,
+            }
+            for name, entry in sorted(
+                self.stats.items(), key=lambda kv: -kv[1].seconds
+            )
+        ]
+
+    def table(self, top: int | None = None) -> str:
+        """Human-readable sorted table (``repro profile --ops``)."""
+        rows = self.rows()
+        if top is not None:
+            rows = rows[:top]
+        lines = [
+            f"{'op':<20s} {'calls':>7s} {'total ms':>10s} {'mean us':>10s} "
+            f"{'share':>7s} {'MB out':>8s}"
+        ]
+        for row in rows:
+            lines.append(
+                f"{row['op']:<20s} {row['calls']:>7d} {row['total_ms']:>10.3f} "
+                f"{row['mean_us']:>10.2f} {row['share']:>6.1%} "
+                f"{row['bytes'] / 2**20:>8.2f}"
+            )
+        return "\n".join(lines)
+
+
+@contextlib.contextmanager
+def profile_ops():
+    """Context manager installing an :class:`OpProfiler` for the block."""
+    profiler = OpProfiler()
+    previous = get_op_observer()
+    set_op_observer(profiler)
+    profiler.mark()
+    try:
+        yield profiler
+    finally:
+        set_op_observer(previous)
+
+
+class AllocationCounter:
+    """Counts engine-owned buffer allocations (backward + optimizer)."""
+
+    def __init__(self):
+        self.count = 0
+        self.bytes = 0
+
+    def __call__(self, nbytes: int) -> None:
+        self.count += 1
+        self.bytes += nbytes
+
+    def reset(self) -> None:
+        self.count = 0
+        self.bytes = 0
+
+
+@contextlib.contextmanager
+def track_allocations():
+    """Context manager yielding an active :class:`AllocationCounter`."""
+    counter = AllocationCounter()
+    previous = get_alloc_observer()
+    set_alloc_observer(counter)
+    try:
+        yield counter
+    finally:
+        set_alloc_observer(previous)

@@ -110,7 +110,7 @@ def apply_nan_policy(
         return clean, bad_total, 0
     # impute_last: per-entity forward fill, seeded by the buffer's last row.
     previous = (
-        np.full(block.shape[1], fill_value, dtype=np.float64)
+        np.full(block.shape[1], fill_value, dtype=block.dtype)
         if last_row is None
         else np.where(np.isfinite(last_row), last_row, fill_value)
     )

@@ -96,12 +96,24 @@ class Trainer:
             model.parameters(), lr=self.config.lr, weight_decay=self.config.weight_decay
         )
 
+    def _model_dtype(self) -> np.dtype:
+        """The parameter dtype batches must match (float32/float64 runs)."""
+        return next(iter(self.model.parameters())).data.dtype
+
+    @staticmethod
+    def _as_batch(array: np.ndarray, dtype: np.dtype) -> Tensor:
+        """Wrap a loader batch once, casting only on a dtype mismatch."""
+        return Tensor(array if array.dtype == dtype else array.astype(dtype))
+
     def _epoch(self, loader: DataLoader) -> float:
         self.model.train()
+        dtype = self._model_dtype()
         total, batches = 0.0, 0
         for x_batch, y_batch in loader:
-            pred = self.model(Tensor(x_batch))
-            loss = ((pred - Tensor(y_batch)) ** 2.0).mean()
+            x = self._as_batch(x_batch, dtype)
+            y = self._as_batch(y_batch, dtype)
+            pred = self.model(x)
+            loss = ((pred - y) ** 2.0).mean()
             if not np.isfinite(loss.item()):
                 raise NonFiniteLossError(
                     f"non-finite training loss ({loss.item()}) at batch {batches}; "
@@ -118,11 +130,12 @@ class Trainer:
 
     def validation_loss(self, dataset: SlidingWindowDataset, max_batches: int | None = None) -> float:
         self.model.eval()
+        dtype = self._model_dtype()
         loader = DataLoader(dataset, self.config.batch_size)
         total, batches = 0.0, 0
         with ag.no_grad():
             for x_batch, y_batch in loader:
-                pred = self.model(Tensor(x_batch))
+                pred = self.model(self._as_batch(x_batch, dtype))
                 total += float(((pred.data - y_batch) ** 2).mean())
                 batches += 1
                 if max_batches is not None and batches >= max_batches:
@@ -155,6 +168,7 @@ class Trainer:
             arrays.update({f"best/{name}": value for name, value in best_state.items()})
         meta = {
             "schema": 1,
+            "dtype": self._model_dtype().name,
             "epoch": epoch,
             "lr": float(opt.lr),
             "step_count": int(getattr(opt, "_step_count", 0)),
@@ -178,6 +192,14 @@ class Trainer:
     ) -> tuple[dict, dict[str, np.ndarray] | None]:
         """Restore model/optimizer/RNG state; return (meta, best_state)."""
         meta = json.loads(str(arrays["meta"]))
+        ckpt_dtype = meta.get("dtype")
+        if ckpt_dtype is not None and np.dtype(ckpt_dtype) != self._model_dtype():
+            # A float32 run must resume as float32 (and vice versa): cast
+            # the live model and optimizer state before the in-place
+            # restore below, which would otherwise silently re-cast the
+            # checkpoint to the model's construction dtype.
+            self.model.to_dtype(ckpt_dtype)
+            self.optimizer.cast_state(ckpt_dtype)
         self.model.load_state_dict(
             {
                 name[len("model/"):]: value
@@ -360,11 +382,12 @@ class Trainer:
                 "cannot evaluate on an empty dataset (0 windows); "
                 "check the split lengths against lookback + horizon"
             )
+        dtype = self._model_dtype()
         preds, targets = [], []
         with ag.no_grad():
             for start in range(0, len(indices), self.config.batch_size):
                 batch_idx = indices[start : start + self.config.batch_size]
                 x_batch, y_batch = dataset.batch(batch_idx)
-                preds.append(self.model(Tensor(x_batch)).data)
+                preds.append(self.model(self._as_batch(x_batch, dtype)).data)
                 targets.append(y_batch)
         return evaluate_forecast(np.concatenate(preds), np.concatenate(targets))

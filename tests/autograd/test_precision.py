@@ -1,0 +1,246 @@
+"""Precision modes: dtype plumbing, weak scalars, float32 equivalence."""
+
+import numpy as np
+import pytest
+
+from repro import autograd as ag
+from repro import nn
+from repro.autograd import Tensor
+from repro.core.model import FOCUSConfig, FOCUSForecaster
+from repro.optim import AdamW, clip_grad_norm
+
+
+@pytest.fixture(autouse=True)
+def _restore_default_dtype():
+    yield
+    ag.set_default_dtype(np.float64)
+
+
+class TestDtypeState:
+    def test_default_is_float64(self):
+        assert ag.get_default_dtype() == np.float64
+
+    def test_set_and_context_manager(self):
+        ag.set_default_dtype(np.float32)
+        assert ag.get_default_dtype() == np.float32
+        ag.set_default_dtype(np.float64)
+        with ag.default_dtype(np.float32):
+            assert ag.get_default_dtype() == np.float32
+            with ag.default_dtype(np.float64):
+                assert ag.get_default_dtype() == np.float64
+            assert ag.get_default_dtype() == np.float32
+        assert ag.get_default_dtype() == np.float64
+
+    def test_rejects_non_float(self):
+        with pytest.raises((TypeError, ValueError)):
+            ag.set_default_dtype(np.int64)
+
+
+class TestTensorCreation:
+    def test_float_ndarray_dtype_preserved(self):
+        for dtype in (np.float32, np.float64):
+            arr = np.ones((3,), dtype=dtype)
+            assert Tensor(arr).data.dtype == dtype
+
+    def test_float_ndarray_not_copied(self):
+        arr = np.ones((3,), dtype=np.float32)
+        assert Tensor(arr).data is arr
+
+    def test_python_data_gets_default_dtype(self):
+        assert Tensor([1, 2, 3]).data.dtype == np.float64
+        with ag.default_dtype(np.float32):
+            assert Tensor([1, 2, 3]).data.dtype == np.float32
+            assert Tensor(2.5).data.dtype == np.float32
+
+    def test_numpy_float_scalar_dtype_preserved(self):
+        # Full reductions return numpy scalars; a float32 loss must not
+        # silently become float64.
+        loss = np.float32(1.5)
+        assert Tensor(loss).data.dtype == np.float32
+
+    def test_explicit_dtype_wins(self):
+        arr = np.ones((3,), dtype=np.float64)
+        assert Tensor(arr, dtype=np.float32).data.dtype == np.float32
+
+    def test_creation_helpers_honor_default(self):
+        with ag.default_dtype(np.float32):
+            assert ag.zeros((2,)).data.dtype == np.float32
+            assert ag.ones((2,)).data.dtype == np.float32
+            assert ag.randn(2).data.dtype == np.float32
+            assert ag.arange(3).data.dtype == np.float32
+        assert ag.zeros((2,), dtype=np.float32).data.dtype == np.float32
+
+    def test_tensor_helper_preserves_float_ndarray_dtype(self):
+        arr = np.ones((3,), dtype=np.float32)
+        out = ag.tensor(arr)
+        assert out.data.dtype == np.float32
+        assert out.data is not arr  # tensor() copies
+
+
+class TestDetachCopy:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_detach_shares_storage_and_dtype(self, dtype):
+        t = Tensor(np.ones((4,), dtype=dtype), requires_grad=True)
+        d = t.detach()
+        assert d.data is t.data
+        assert d.data.dtype == dtype
+        assert not d.requires_grad
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_copy_preserves_dtype_independent_storage(self, dtype):
+        t = Tensor(np.ones((4,), dtype=dtype))
+        c = t.copy()
+        assert c.data.dtype == dtype
+        c.data[0] = 7.0
+        assert t.data[0] == 1.0
+
+
+class TestWeakScalars:
+    """Python/numpy scalar operands must not promote a float32 graph."""
+
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            lambda x: x + 0.5,
+            lambda x: 0.5 + x,
+            lambda x: x - 0.5,
+            lambda x: 0.5 - x,
+            lambda x: x * 0.5,
+            lambda x: 0.5 * x,
+            lambda x: x / 0.5,
+            lambda x: 0.5 / x,
+            lambda x: x + np.float64(0.5),
+            lambda x: x + 2,
+        ],
+    )
+    def test_scalar_ops_keep_float32(self, fn):
+        x = Tensor(np.ones((3,), dtype=np.float32) + 1.0, requires_grad=True)
+        out = fn(x)
+        assert out.data.dtype == np.float32
+        out.sum().backward()
+        assert x.grad.dtype == np.float32
+
+    def test_full_reduction_keeps_float32(self):
+        x = Tensor(np.ones((3, 4), dtype=np.float32), requires_grad=True)
+        assert x.mean().data.dtype == np.float32
+        assert x.sum().data.dtype == np.float32
+
+    def test_float64_semantics_unchanged(self):
+        x = Tensor(np.full((3,), 0.1), requires_grad=True)
+        out = (x + 0.2) * 0.3
+        assert out.data.dtype == np.float64
+        np.testing.assert_array_equal(out.data, (x.data + 0.2) * 0.3)
+
+
+class TestGradcheckFloat32:
+    """The op gradient checks hold in float32 with loosened tolerances."""
+
+    @pytest.mark.parametrize(
+        "fn",
+        [ag.exp, ag.tanh, ag.sigmoid, ag.gelu, ag.silu, ag.softplus],
+        ids=lambda f: f.__name__,
+    )
+    def test_smooth_unary_float32(self, fn, rng):
+        x = Tensor(
+            rng.standard_normal((3, 4)).astype(np.float32), requires_grad=True
+        )
+        ag.gradcheck(fn, [x])
+
+    def test_matmul_float32(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)).astype(np.float32), requires_grad=True)
+        b = Tensor(rng.standard_normal((4, 2)).astype(np.float32), requires_grad=True)
+        ag.gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_softmax_mean_float32(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)).astype(np.float32), requires_grad=True)
+        ag.gradcheck(lambda t: ag.softmax(t, axis=-1).mean(), [x])
+
+    def test_float64_tolerances_still_tight(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        ag.gradcheck(ag.gelu, [x], atol=1e-5, rtol=1e-4)
+
+
+def _build_focus(dtype, *, lookback=48, horizon=12, entities=4):
+    rng = np.random.default_rng(5)
+    with ag.default_dtype(dtype):
+        nn.init.seed(0)
+        config = FOCUSConfig(
+            lookback=lookback,
+            horizon=horizon,
+            num_entities=entities,
+            segment_length=12,
+            num_prototypes=4,
+            d_model=16,
+            num_readout=2,
+        )
+        model = FOCUSForecaster(
+            config, prototypes=rng.standard_normal((4, 12))
+        )
+    x = rng.standard_normal((8, lookback, entities))
+    y = rng.standard_normal((8, horizon, entities))
+    return model, x, y
+
+
+def _train_step(model, optimizer, x, y, dtype):
+    pred = model(Tensor(x.astype(dtype)))
+    loss = ((pred - Tensor(y.astype(dtype))) ** 2.0).mean()
+    optimizer.zero_grad()
+    loss.backward()
+    clip_grad_norm(optimizer.parameters, 5.0)
+    optimizer.step()
+    return float(loss.data)
+
+
+class TestForecastEquivalence:
+    """float32 runs track float64 to single-precision accuracy."""
+
+    def test_focus_forward_fp32_matches_fp64(self):
+        model64, x, _ = _build_focus(np.float64)
+        model32, _, _ = _build_focus(np.float32)
+        with ag.no_grad():
+            pred64 = model64(Tensor(x)).data
+            pred32 = model32(Tensor(x.astype(np.float32))).data
+        assert pred32.dtype == np.float32
+        np.testing.assert_allclose(pred32, pred64, rtol=1e-4, atol=1e-4)
+
+    def test_focus_training_step_fp32_matches_fp64(self):
+        model64, x, y = _build_focus(np.float64)
+        model32, _, _ = _build_focus(np.float32)
+        opt64 = AdamW(model64.parameters(), lr=1e-3)
+        opt32 = AdamW(model32.parameters(), lr=1e-3)
+        loss64 = _train_step(model64, opt64, x, y, np.float64)
+        loss32 = _train_step(model32, opt32, x, y, np.float32)
+        assert abs(loss64 - loss32) < 1e-4 * max(1.0, abs(loss64))
+        for p64, p32 in zip(model64.parameters(), model32.parameters()):
+            assert p32.data.dtype == np.float32
+            np.testing.assert_allclose(
+                p32.data, p64.data, rtol=1e-3, atol=1e-5
+            )
+
+    def test_float32_state_stays_float32(self):
+        model, x, y = _build_focus(np.float32)
+        optimizer = AdamW(model.parameters(), lr=1e-3)
+        for _ in range(2):
+            _train_step(model, optimizer, x, y, np.float32)
+        assert all(p.data.dtype == np.float32 for p in model.parameters())
+        assert all(p.grad.dtype == np.float32 for p in model.parameters())
+        assert all(m.dtype == np.float32 for m in optimizer._m)
+        assert all(v.dtype == np.float32 for v in optimizer._v)
+
+
+class TestInPlaceBitIdentity:
+    """The in-place backward/optimizer paths are bit-identical to the
+    allocate-per-accumulation legacy paths in float64."""
+
+    def test_two_steps_bit_identical(self):
+        model_a, x, y = _build_focus(np.float64)
+        model_b, _, _ = _build_focus(np.float64)
+        opt_a = AdamW(model_a.parameters(), lr=1e-3)
+        opt_b = AdamW(model_b.parameters(), lr=1e-3, in_place=False)
+        for _ in range(2):
+            _train_step(model_a, opt_a, x, y, np.float64)
+            with ag.legacy_accumulation():
+                _train_step(model_b, opt_b, x, y, np.float64)
+        for p_a, p_b in zip(model_a.parameters(), model_b.parameters()):
+            np.testing.assert_array_equal(p_a.data, p_b.data)
+            np.testing.assert_array_equal(p_a.grad, p_b.grad)

@@ -1,0 +1,93 @@
+"""Wall-clock op profiler and engine allocation tracking."""
+
+import numpy as np
+
+from repro import autograd as ag
+from repro.autograd import Tensor
+from repro.autograd.tensor import get_alloc_observer, get_op_observer
+from repro.profiling import profile_ops, track_allocations
+
+
+def small_graph(rng):
+    a = Tensor(rng.standard_normal((8, 8)), requires_grad=True)
+    b = Tensor(rng.standard_normal((8, 8)), requires_grad=True)
+    return a, b, lambda: ((a @ b) + a).mean()
+
+
+class TestOpProfiler:
+    def test_records_forward_and_backward_ops(self, rng):
+        a, b, fn = small_graph(rng)
+        with profile_ops() as prof:
+            fn().backward()
+        assert prof.stats["matmul"].calls == 1
+        assert prof.stats["add"].calls == 1
+        assert prof.stats["mean"].calls == 1
+        # wants_backward=True: each interior node reports an <op>.bwd event.
+        assert prof.stats["mean.bwd"].calls == 1
+        assert prof.stats["matmul.bwd"].calls == 1
+        assert prof.total_seconds > 0.0
+
+    def test_bytes_use_actual_itemsize(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)).astype(np.float32))
+        with profile_ops() as prof:
+            with ag.no_grad():
+                _ = x + x
+        assert prof.stats["add"].bytes == 16 * 4  # float32, not float64
+
+    def test_rows_sorted_and_table_renders(self, rng):
+        a, b, fn = small_graph(rng)
+        with profile_ops() as prof:
+            fn().backward()
+        rows = prof.rows()
+        totals = [row["total_ms"] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+        assert abs(sum(row["share"] for row in rows) - 1.0) < 1e-9
+        table = prof.table(top=3)
+        assert len(table.splitlines()) == 4  # header + 3 rows
+
+    def test_note_attributes_non_op_region(self, rng):
+        a, b, fn = small_graph(rng)
+        with profile_ops() as prof:
+            with ag.no_grad():
+                fn()
+            prof.note("optimizer.step")
+        assert prof.stats["optimizer.step"].calls == 1
+
+    def test_observer_restored_after_context(self, rng):
+        before = get_op_observer()
+        with profile_ops():
+            pass
+        assert get_op_observer() is before
+
+
+class TestAllocationTracking:
+    def test_inplace_backward_allocates_less_than_legacy(self, rng):
+        def run(legacy):
+            a, b, fn = small_graph(rng)
+            loss = fn()
+            with track_allocations() as allocs:
+                if legacy:
+                    with ag.legacy_accumulation():
+                        loss.backward()
+                else:
+                    loss.backward()
+            return allocs.count, allocs.bytes
+
+        inplace_count, inplace_bytes = run(legacy=False)
+        legacy_count, legacy_bytes = run(legacy=True)
+        assert inplace_count < legacy_count
+        assert inplace_bytes < legacy_bytes
+
+    def test_observer_restored_after_context(self):
+        before = get_alloc_observer()
+        with track_allocations():
+            pass
+        assert get_alloc_observer() is before
+
+    def test_reset(self, rng):
+        a, b, fn = small_graph(rng)
+        loss = fn()
+        with track_allocations() as allocs:
+            loss.backward()
+            allocs.reset()
+            assert allocs.count == 0 and allocs.bytes == 0

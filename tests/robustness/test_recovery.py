@@ -221,3 +221,62 @@ class TestEvaluateEmptyDataset:
         trainer = Trainer(fresh_model(), TrainerConfig(batch_size=16))
         with pytest.raises(ValueError, match="empty dataset"):
             trainer.evaluate(EmptyDataset())
+
+
+class TestCheckpointDtype:
+    """A float32 run must resume as float32 (params, grads, moments)."""
+
+    def _fresh_float32_model(self):
+        from repro import autograd as ag
+
+        with ag.default_dtype(np.float32):
+            return fresh_model()
+
+    def test_float32_round_trip(self, datasets, tmp_path):
+        train, val = datasets
+        ckpt_dir = str(tmp_path / "ckpts")
+        base = dict(epochs=2, batch_size=16, lr=1e-2, patience=99)
+        first = Trainer(
+            self._fresh_float32_model(),
+            TrainerConfig(**base, checkpoint_dir=ckpt_dir, checkpoint_every=1),
+        )
+        first.fit(train, val)
+        assert all(
+            p.data.dtype == np.float32 for p in first.model.parameters()
+        )
+
+        resumed = Trainer(
+            self._fresh_float32_model(),
+            TrainerConfig(**base, checkpoint_dir=ckpt_dir, resume=True),
+        )
+        resumed.fit(train, val)
+        assert all(
+            p.data.dtype == np.float32 for p in resumed.model.parameters()
+        )
+        assert all(m.dtype == np.float32 for m in resumed.optimizer._m)
+        assert all(v.dtype == np.float32 for v in resumed.optimizer._v)
+        for name, value in first.model.state_dict().items():
+            np.testing.assert_array_equal(
+                resumed.model.state_dict()[name], value
+            )
+
+    def test_float32_checkpoint_casts_float64_trainer(self, datasets, tmp_path):
+        """Resuming a float32 checkpoint into a float64-built model casts
+        the live model/optimizer instead of silently upcasting the run."""
+        train, val = datasets
+        ckpt_dir = str(tmp_path / "ckpts")
+        base = dict(epochs=2, batch_size=16, lr=1e-2, patience=99)
+        Trainer(
+            self._fresh_float32_model(),
+            TrainerConfig(**base, checkpoint_dir=ckpt_dir, checkpoint_every=1),
+        ).fit(train, val)
+
+        resumed = Trainer(
+            fresh_model(),  # float64 build
+            TrainerConfig(**base, checkpoint_dir=ckpt_dir, resume=True),
+        )
+        resumed.fit(train, val)
+        assert all(
+            p.data.dtype == np.float32 for p in resumed.model.parameters()
+        )
+        assert all(m.dtype == np.float32 for m in resumed.optimizer._m)

@@ -59,6 +59,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "proto_assignment" in out
 
+    def test_profile_ops_wall_clock(self, capsys):
+        from repro import autograd as ag
+
+        try:
+            code = main(
+                [
+                    "profile", "--ops", "--model", "DLinear", "--lookback", "48",
+                    "--dtype", "float32", "--batch-size", "4", "--top", "5",
+                ]
+            )
+        finally:
+            ag.set_default_dtype(np.float64)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dtype=float32" in out
+        assert "one training step" in out
+        assert "optimizer.step" in out or "matmul" in out
+
     def test_run_small(self, capsys):
         code = main(
             [
@@ -125,6 +143,11 @@ class TestCommands:
         assert report["clustering_fit"]["equivalent_1e8"] is True
         assert report["clustering_fit"]["speedup"] > 0
         assert report["streaming"]["observe_per_s"] > 0
+        step = report["training_step"]
+        assert "training step" in out
+        assert step["float64_ms"] > 0 and step["float32_ms"] > 0
+        assert step["allocs_per_step_inplace"] < step["allocs_per_step_legacy"]
+        assert step["alloc_reduction"] > 0
 
     def test_bench_no_out_skips_writing(self, capsys, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)
