@@ -6,20 +6,48 @@ hour and letting the prototype dictionary adapt when genuinely novel
 segment shapes arrive (an extension of the paper's online phase for
 long-running deployments).
 
-Run:  python examples/streaming_deployment.py
+With ``--telemetry-dir DIR`` the whole pipeline shares one telemetry
+stack (docs/observability.md): the trainer and the stream write JSONL
+events to ``DIR/events.jsonl``, metrics (forecast latency, prototype
+utilization, assignment drift, health) land in ``DIR/metrics.prom``,
+and ``python -m repro monitor DIR`` renders the result.
+
+Run:  python examples/streaming_deployment.py [--telemetry-dir DIR] [--epochs N]
 """
+
+import argparse
 
 import numpy as np
 
 from repro.core import FOCUSConfig, FOCUSForecaster
 from repro.core.streaming import StreamingFOCUS
 from repro.data import load_dataset
+from repro.telemetry import (
+    DriftConfig,
+    MetricsRegistry,
+    RunLogger,
+    write_prometheus,
+)
 from repro.training import Trainer, TrainerConfig
 
 LOOKBACK, HORIZON = 96, 24
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--telemetry-dir", default=None,
+        help="write JSONL events + Prometheus metrics here",
+    )
+    parser.add_argument("--epochs", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    registry = None
+    logger = None
+    if args.telemetry_dir:
+        registry = MetricsRegistry()
+        logger = RunLogger.to_dir(args.telemetry_dir)
+
     data = load_dataset("Weather", scale="smoke", seed=0)
     config = FOCUSConfig(
         lookback=LOOKBACK, horizon=HORIZON, num_entities=data.num_entities,
@@ -28,8 +56,10 @@ def main():
     model = FOCUSForecaster.from_training_data(config, data.train)
     trainer = Trainer(
         model,
-        TrainerConfig(epochs=4, batch_size=32, lr=5e-3, patience=99,
+        TrainerConfig(epochs=args.epochs, batch_size=32, lr=5e-3, patience=99,
                       restore_best=False),
+        run_logger=logger,
+        registry=registry,
     )
     print("training ...")
     trainer.fit(
@@ -38,7 +68,10 @@ def main():
     )
 
     stream = StreamingFOCUS(
-        model, adapt_prototypes=True, novelty_threshold=4.0, ema=0.05
+        model, adapt_prototypes=True, novelty_threshold=4.0, ema=0.05,
+        telemetry=registry,
+        drift=DriftConfig() if registry is not None else None,
+        run_logger=logger,
     )
     print("replaying the test split through the stream ...")
     errors = []
@@ -59,6 +92,12 @@ def main():
     print(f"streaming forecast MSE: {np.mean(errors):.4f} "
           f"(first half {np.mean(errors[: len(errors) // 2]):.4f}, "
           f"second half {np.mean(errors[len(errors) // 2 :]):.4f})")
+    if args.telemetry_dir:
+        stream.emit_stats()
+        write_prometheus(registry, args.telemetry_dir)
+        logger.close()
+        print(f"telemetry written to {args.telemetry_dir} "
+              f"(render with: python -m repro monitor {args.telemetry_dir})")
 
 
 if __name__ == "__main__":

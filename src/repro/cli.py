@@ -9,10 +9,15 @@ Subcommands::
     python -m repro profile  --ops --dtype float32   # per-op wall clock
     python -m repro compare  --dataset PEMS08 --models FOCUS,DLinear,PatchTST
     python -m repro bench    [--quick] [--out BENCH_hotpath.json]
+    python -m repro monitor  RUN_DIR [--follow] [--validate]
 
 All commands operate on the synthetic dataset surrogates (seeded, see
 DESIGN.md) and print plain-text tables.  Model-building commands accept
 ``--dtype float32`` to run the whole pipeline in single precision.
+``run`` and ``cluster`` accept ``--telemetry-dir DIR`` to emit
+schema-versioned JSONL events plus a Prometheus metrics snapshot there;
+``monitor`` renders (or tails) such a directory.  See
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -21,6 +26,14 @@ import argparse
 import sys
 
 import numpy as np
+
+
+def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry-dir", default=None,
+        help="directory for JSONL run events + Prometheus metrics snapshot "
+             "(inspect with `repro monitor DIR`)",
+    )
 
 
 def _add_common_model_args(parser: argparse.ArgumentParser) -> None:
@@ -59,27 +72,61 @@ def _cmd_datasets(_args) -> int:
 def _cmd_cluster(args) -> int:
     from repro.core import ClusteringConfig, SegmentClusterer
     from repro.data import load_dataset, segment_series
+    from repro.telemetry import (
+        NULL_LOGGER,
+        NULL_TRACER,
+        MetricsRegistry,
+        RunLogger,
+        Tracer,
+        write_prometheus,
+    )
 
+    logger, tracer, registry = NULL_LOGGER, NULL_TRACER, None
+    if args.telemetry_dir:
+        logger = RunLogger.to_dir(args.telemetry_dir)
+        registry = MetricsRegistry()
+        tracer = Tracer(registry)
+    logger.event(
+        "run_start", kind="cluster", dataset=args.dataset,
+        num_prototypes=args.num_prototypes, segment_length=args.segment_length,
+    )
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    clusterer = SegmentClusterer(
-        ClusteringConfig(
-            num_prototypes=args.num_prototypes,
-            segment_length=args.segment_length,
-            alpha=args.alpha,
-            seed=args.seed,
-        )
-    ).fit(data.train)
+    with tracer.span("cluster.fit"):
+        clusterer = SegmentClusterer(
+            ClusteringConfig(
+                num_prototypes=args.num_prototypes,
+                segment_length=args.segment_length,
+                alpha=args.alpha,
+                seed=args.seed,
+            )
+        ).fit(data.train)
     segments = segment_series(data.train, args.segment_length)
-    labels = clusterer.assign(segments)
+    with tracer.span("cluster.assign"):
+        labels = clusterer.assign(segments)
     shares = np.bincount(labels, minlength=args.num_prototypes) / len(labels)
+    inertia = clusterer.inertia(segments)
+    logger.event(
+        "cluster_fit",
+        num_prototypes=args.num_prototypes,
+        segment_length=args.segment_length,
+        n_segments=len(segments),
+        iterations=int(clusterer.n_iter_),
+        inertia=float(inertia),
+        usage=[round(float(share), 6) for share in shares],
+    )
     print(f"fitted {args.num_prototypes} prototypes on {len(segments)} segments "
           f"({clusterer.n_iter_} iterations)")
     for j, share in enumerate(shares):
         print(f"  prototype {j}: usage {share:6.1%}")
-    print(f"inertia: {clusterer.inertia(segments):.4f}")
+    print(f"inertia: {inertia:.4f}")
     if args.save:
         clusterer.save(args.save)
         print(f"saved to {args.save}")
+    logger.event("run_end", kind="cluster")
+    if args.telemetry_dir:
+        write_prometheus(registry, args.telemetry_dir)
+        logger.close()
+        print(f"telemetry written to {args.telemetry_dir}")
     return 0
 
 
@@ -105,6 +152,7 @@ def _cmd_run(args) -> int:
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
             resume=args.resume,
+            telemetry_dir=args.telemetry_dir,
         ),
     )
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
@@ -112,6 +160,8 @@ def _cmd_run(args) -> int:
     print()
     print(format_table([result.row()], title="Result"))
     print(f"training took {result.train_seconds:.1f}s")
+    if args.telemetry_dir:
+        print(f"telemetry written to {args.telemetry_dir}")
     return 0
 
 
@@ -241,6 +291,13 @@ def _cmd_bench(args) -> int:
         f"{step['allocs_per_step_inplace']} "
         f"(-{step['alloc_reduction']:.0%})"
     )
+    telemetry = report["telemetry"]
+    print(
+        f"  telemetry      : step {telemetry['baseline_ms']:.1f}ms bare, "
+        f"{telemetry['off_ms']:.1f}ms off ({telemetry['overhead_off_pct']:+.2f}%), "
+        f"{telemetry['on_ms']:.1f}ms on ({telemetry['overhead_on_pct']:+.2f}%); "
+        f"jsonl {telemetry['events_per_s']:.0f} events/s"
+    )
     if not clustering["equivalent_1e8"]:
         print("WARNING: vectorized and loop prototypes diverge beyond 1e-8")
         return 1
@@ -251,6 +308,31 @@ def _cmd_bench(args) -> int:
             print(f"error: could not write {args.out}: {error}", file=sys.stderr)
             return 1
         print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    import json
+
+    from repro.telemetry import follow_events, summarize_run, validate_run
+
+    if args.validate:
+        errors = validate_run(args.run_dir)
+        if errors:
+            for problem in errors:
+                print(problem, file=sys.stderr)
+            print(f"{len(errors)} schema violation(s) in {args.run_dir}", file=sys.stderr)
+            return 1
+        print(f"{args.run_dir}: all events valid (schema v1)")
+        return 0
+    if args.follow:
+        try:
+            for event in follow_events(args.run_dir, max_polls=args.max_polls):
+                print(json.dumps(event, sort_keys=True))
+        except KeyboardInterrupt:
+            pass
+        return 0
+    print(summarize_run(args.run_dir, last_epochs=args.last))
     return 0
 
 
@@ -269,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("-p", "--segment-length", type=int, default=12)
     cluster.add_argument("--alpha", type=float, default=0.2)
     cluster.add_argument("--save", help="npz path to save the fitted prototypes")
+    _add_telemetry_arg(cluster)
     cluster.set_defaults(func=_cmd_cluster)
 
     run = sub.add_parser("run", help="train and evaluate one model")
@@ -290,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="resume from the newest valid checkpoint in --checkpoint-dir",
     )
+    _add_telemetry_arg(run)
     run.set_defaults(func=_cmd_run)
 
     profile = sub.add_parser(
@@ -322,6 +406,28 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default="BENCH_hotpath.json",
                        help="output JSON path ('' to skip writing)")
     bench.set_defaults(func=_cmd_bench)
+
+    monitor = sub.add_parser(
+        "monitor", help="render or validate a telemetry run directory"
+    )
+    monitor.add_argument("run_dir", help="directory written by --telemetry-dir")
+    monitor.add_argument(
+        "--validate", action="store_true",
+        help="exit 1 if any event violates the v1 schema",
+    )
+    monitor.add_argument(
+        "--follow", action="store_true",
+        help="tail events.jsonl and print events as JSON lines",
+    )
+    monitor.add_argument(
+        "--max-polls", type=int, default=None,
+        help="with --follow: stop after N empty polls (default: forever)",
+    )
+    monitor.add_argument(
+        "--last", type=int, default=8,
+        help="number of trailing epochs to show in the summary",
+    )
+    monitor.set_defaults(func=_cmd_monitor)
     return parser
 
 

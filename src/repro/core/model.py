@@ -182,6 +182,41 @@ class FOCUSForecaster(Module):
             return None
         return np.asarray(prototypes)
 
+    def assignment_profile(self, window: np.ndarray) -> dict:
+        """Nearest-prototype routing profile of a ``(L, N)`` window.
+
+        The drift-monitoring primitive (see
+        :mod:`repro.telemetry.drift`): segments the window exactly like
+        the online phase, assigns each segment to its nearest prototype
+        under the composite distance, and returns
+
+        - ``assignments`` — ``(N * l,)`` prototype indices,
+        - ``counts`` — ``(k,)`` utilization histogram,
+        - ``entropy`` — normalized assignment entropy in ``[0, 1]``,
+        - ``mean_distance`` — mean nearest-prototype distance.
+        """
+        from repro.core.clustering import composite_distance
+        from repro.data.segments import segment_series
+        from repro.telemetry.drift import assignment_entropy
+
+        prototypes = self.prototype_values()
+        if prototypes is None:
+            raise RuntimeError(
+                "assignment profiles require a prototype mixer "
+                "(the attn/linear variants have no dictionary)"
+            )
+        segments = segment_series(np.asarray(window), self.config.segment_length)
+        distances = composite_distance(segments, prototypes, self.config.alpha)
+        assignments = distances.argmin(axis=1)
+        counts = np.bincount(assignments, minlength=self.config.num_prototypes)
+        nearest = distances[np.arange(len(segments)), assignments]
+        return {
+            "assignments": assignments,
+            "counts": counts,
+            "entropy": assignment_entropy(counts),
+            "mean_distance": float(nearest.mean()),
+        }
+
     def update_prototype(self, index: int, value: np.ndarray) -> None:
         """Overwrite one prototype row in place (both mixers stay in sync).
 

@@ -32,11 +32,21 @@ bad model outputs, so the wrapper is hardened end to end:
   (:class:`repro.robustness.health.HealthMonitor`), exposed through
   :attr:`health` and mirrored into :class:`StreamingStats` for
   monitoring.
+- **Telemetry and drift alarms** (``docs/observability.md``) — an
+  attached :class:`~repro.telemetry.MetricsRegistry` receives
+  forecast-latency histograms, per-prototype utilization counters,
+  assignment-entropy gauges, NaN-policy counters, and health-transition
+  counters; a :class:`~repro.telemetry.DriftConfig` activates the
+  assignment-drift alarm, which records a *failure* on the health
+  monitor when the prototype bank stops describing the stream — so a
+  silently-stale dictionary degrades serving health before accuracy
+  craters.  With neither attached, none of this touches the hot path.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time
 
 import numpy as np
 
@@ -51,6 +61,7 @@ from repro.robustness.health import (
     HealthState,
     apply_nan_policy,
 )
+from repro.telemetry.drift import DriftConfig, DriftMonitor
 
 
 @dataclasses.dataclass
@@ -68,6 +79,10 @@ class StreamingStats:
     fallback_forecasts: int = 0
     health: str = HealthState.HEALTHY.value
     last_forecast_source: str = ""
+    # Drift-monitor readouts (0 until a DriftConfig is attached).
+    drift_alarms: int = 0
+    assignment_entropy: float = 0.0
+    assignment_drift: float = 0.0
 
 
 class StreamingFOCUS:
@@ -99,6 +114,16 @@ class StreamingFOCUS:
     fail_threshold / recover_after:
         Consecutive-failure count that marks the stream ``FAILED``, and
         consecutive-success count that restores ``HEALTHY``.
+    telemetry:
+        Optional :class:`~repro.telemetry.MetricsRegistry` receiving
+        forecast latency, utilization, entropy, NaN, and health metrics.
+    drift:
+        Optional :class:`~repro.telemetry.DriftConfig` enabling the
+        assignment-drift alarm (requires a prototype mixer); drifted
+        forecasts are recorded as health *failures*.
+    run_logger:
+        Optional :class:`~repro.telemetry.RunLogger` receiving
+        ``health_transition`` and ``drift_alarm`` JSONL events.
     """
 
     def __init__(
@@ -112,6 +137,9 @@ class StreamingFOCUS:
         seasonal_period: int | None = None,
         fail_threshold: int = 5,
         recover_after: int = 3,
+        telemetry=None,
+        drift: DriftConfig | None = None,
+        run_logger=None,
     ):
         if novelty_threshold <= 1.0:
             raise ValueError("novelty_threshold must exceed 1")
@@ -144,10 +172,93 @@ class StreamingFOCUS:
         self._head = 0
         self._filled = 0
         self._distance_history: list[float] = []
+        self._telemetry = telemetry
+        self._run_logger = run_logger
         self._health = HealthMonitor(
-            fail_threshold=fail_threshold, recover_after=recover_after
+            fail_threshold=fail_threshold,
+            recover_after=recover_after,
+            on_transition=self._on_health_transition
+            if (telemetry is not None or run_logger is not None)
+            else None,
         )
         self.stats = StreamingStats()
+        self.drift_monitor: DriftMonitor | None = None
+        if drift is not None:
+            if model.prototype_values() is None:
+                raise ValueError(
+                    "drift monitoring requires a prototype mixer "
+                    "(the attn/linear variants have no dictionary)"
+                )
+            self.drift_monitor = DriftMonitor(
+                config.num_prototypes,
+                config=drift,
+                registry=telemetry,
+                run_logger=run_logger,
+            )
+        # Pre-resolved instrument handles (None when telemetry is off) so
+        # the forecast path never takes the registry lock.
+        self._instruments = None
+        if telemetry is not None:
+            self._instruments = {
+                "latency": telemetry.histogram(
+                    "focus_forecast_latency_seconds",
+                    help="end-to-end forecast latency",
+                ),
+                "model": telemetry.counter(
+                    "focus_forecasts_total", labels={"source": "model"},
+                    help="forecasts answered by the model",
+                ),
+                "fallback": telemetry.counter(
+                    "focus_forecasts_total", labels={"source": "fallback"},
+                    help="forecasts answered by the degraded-mode fallback",
+                ),
+                "failures": telemetry.counter(
+                    "focus_model_failures_total", help="model forward failures"
+                ),
+                "imputed": telemetry.counter(
+                    "focus_nan_imputed_total",
+                    help="non-finite values imputed at ingestion",
+                ),
+                "rejected": telemetry.counter(
+                    "focus_nan_rejected_total",
+                    help="observation rows rejected at ingestion",
+                ),
+                "novel": telemetry.counter(
+                    "focus_novel_segments_total",
+                    help="segments beyond the novelty threshold",
+                ),
+                "proto_updates": telemetry.counter(
+                    "focus_prototype_updates_total",
+                    help="EMA prototype adaptations",
+                ),
+                "novelty_rate": telemetry.gauge(
+                    "focus_novelty_rate",
+                    help="novel segments per observed segment",
+                ),
+                "health": telemetry.gauge(
+                    "focus_health_state",
+                    help="0=HEALTHY 1=DEGRADED 2=FAILED",
+                ),
+            }
+
+    _HEALTH_LEVELS = {
+        HealthState.HEALTHY.value: 0,
+        HealthState.DEGRADED.value: 1,
+        HealthState.FAILED.value: 2,
+    }
+
+    def _on_health_transition(self, src: str, dst: str, reason: str, tick: int) -> None:
+        if self._telemetry is not None:
+            self._telemetry.counter(
+                "focus_health_transitions_total", labels={"to": dst},
+                help="serving-health state changes",
+            ).inc()
+            self._instruments["health"].set(self._HEALTH_LEVELS[dst])
+        if self._run_logger is not None:
+            self._run_logger.event(
+                "health_transition",
+                **{"from": src, "to": dst, "reason": reason, "tick": tick},
+            )
 
     @property
     def ready(self) -> bool:
@@ -205,6 +316,11 @@ class StreamingFOCUS:
         )
         self.stats.imputed_values += imputed
         self.stats.rejected_observations += rejected
+        if self._instruments is not None and (imputed or rejected):
+            if imputed:
+                self._instruments["imputed"].inc(imputed)
+            if rejected:
+                self._instruments["rejected"].inc(rejected)
         return clean
 
     def observe(self, observation: np.ndarray) -> None:
@@ -283,6 +399,8 @@ class StreamingFOCUS:
             raise RuntimeError(
                 f"need {self.model.config.lookback} observations, have {self._filled}"
             )
+        instruments = self._instruments
+        started = time.perf_counter() if instruments is not None else 0.0
         window = self._buffer
         failure = None
         prediction = None
@@ -297,16 +415,62 @@ class StreamingFOCUS:
             failure = f"model forward raised {type(error).__name__}: {error}"
         self.stats.forecasts += 1
         if failure is None:
-            self._health.record_success()
+            # Drift is judged only on model answers: a fallback window
+            # says nothing about the prototype bank.
+            drift_reason = self._check_drift(window)
+            if drift_reason is None:
+                self._health.record_success()
+            else:
+                self._health.record_failure(drift_reason)
             self.stats.health = self._health.state.value
             self.stats.last_forecast_source = "model"
+            if instruments is not None:
+                instruments["model"].inc()
+                instruments["latency"].observe(time.perf_counter() - started)
             return prediction
         self.stats.model_failures += 1
         self.stats.fallback_forecasts += 1
         self._health.record_failure(failure)
         self.stats.health = self._health.state.value
         self.stats.last_forecast_source = f"fallback:{self.fallback}"
-        return self._fallback_forecast(window)
+        result = self._fallback_forecast(window)
+        if instruments is not None:
+            instruments["failures"].inc()
+            instruments["fallback"].inc()
+            instruments["latency"].observe(time.perf_counter() - started)
+        return result
+
+    def _check_drift(self, window: np.ndarray) -> str | None:
+        """Feed the drift monitor; returns the alarm reason when it fires."""
+        monitor = self.drift_monitor
+        if monitor is None:
+            return None
+        profile = self.model.assignment_profile(window)
+        summary = monitor.observe(profile["assignments"])
+        self.stats.assignment_entropy = summary["entropy"]
+        self.stats.assignment_drift = summary["drift"]
+        if summary["alarmed"]:
+            self.stats.drift_alarms += 1
+            return summary["reason"]
+        return None
+
+    def emit_stats(self) -> None:
+        """Write a ``stream_stats`` snapshot event to the run logger."""
+        if self._run_logger is None:
+            return
+        self._run_logger.event(
+            "stream_stats",
+            observations=self.stats.observations,
+            forecasts=self.stats.forecasts,
+            novel_segments=self.stats.novel_segments,
+            prototype_updates=self.stats.prototype_updates,
+            rejected_observations=self.stats.rejected_observations,
+            imputed_values=self.stats.imputed_values,
+            model_failures=self.stats.model_failures,
+            fallback_forecasts=self.stats.fallback_forecasts,
+            drift_alarms=self.stats.drift_alarms,
+            health=self.stats.health,
+        )
 
     # ------------------------------------------------------------------
     # Prototype adaptation
@@ -333,7 +497,15 @@ class StreamingFOCUS:
         if median <= 0.0:
             return
         novel = nearest_dist > self.novelty_threshold * median
-        self.stats.novel_segments += int(novel.sum())
+        novel_count = int(novel.sum())
+        self.stats.novel_segments += novel_count
+        if self._instruments is not None:
+            if novel_count:
+                self._instruments["novel"].inc(novel_count)
+            segments_seen = max(self.stats.observations // self.model.config.segment_length, 1)
+            self._instruments["novelty_rate"].set(
+                self.stats.novel_segments / (segments_seen * len(segments))
+            )
         if self.ema <= 0.0:
             return
         for segment, proto_idx in zip(segments[novel], nearest[novel]):
@@ -343,3 +515,5 @@ class StreamingFOCUS:
             updated = (1.0 - self.ema) * prototypes[proto_idx] + self.ema * segment
             self.model.update_prototype(int(proto_idx), updated)
             self.stats.prototype_updates += 1
+            if self._instruments is not None:
+                self._instruments["proto_updates"].inc()

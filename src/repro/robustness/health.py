@@ -16,6 +16,7 @@ Two pieces used by :class:`repro.core.streaming.StreamingFOCUS`:
 from __future__ import annotations
 
 import enum
+from collections import deque
 
 import numpy as np
 
@@ -31,26 +32,48 @@ class HealthState(str, enum.Enum):
 
 
 class HealthMonitor:
-    """Streak-driven state machine over per-forecast success/failure."""
+    """Streak-driven state machine over per-forecast success/failure.
 
-    def __init__(self, fail_threshold: int = 5, recover_after: int = 3):
+    Every :meth:`record_success` / :meth:`record_failure` advances a
+    monotonic ``tick``; state changes are kept as a bounded history of
+    ``(from, to, reason, tick)`` tuples in :attr:`transitions` (newest
+    last, capped at ``history`` entries) instead of overwriting a single
+    reason string.  ``on_transition(from, to, reason, tick)`` lets a
+    telemetry layer observe changes as they happen.
+    """
+
+    def __init__(
+        self,
+        fail_threshold: int = 5,
+        recover_after: int = 3,
+        history: int = 256,
+        on_transition=None,
+    ):
         if fail_threshold < 1:
             raise ValueError("fail_threshold must be at least 1")
         if recover_after < 1:
             raise ValueError("recover_after must be at least 1")
+        if history < 1:
+            raise ValueError("history must be at least 1")
         self.fail_threshold = fail_threshold
         self.recover_after = recover_after
         self.state = HealthState.HEALTHY
-        self.transitions: list[tuple[str, str, str]] = []
+        self.transitions: deque[tuple[str, str, str, int]] = deque(maxlen=history)
+        self.on_transition = on_transition
+        self.tick = 0
         self._fail_streak = 0
         self._ok_streak = 0
 
     def _set(self, state: HealthState, reason: str) -> None:
         if state is not self.state:
-            self.transitions.append((self.state.value, state.value, reason))
+            record = (self.state.value, state.value, reason, self.tick)
+            self.transitions.append(record)
             self.state = state
+            if self.on_transition is not None:
+                self.on_transition(*record)
 
     def record_success(self) -> HealthState:
+        self.tick += 1
         self._fail_streak = 0
         self._ok_streak += 1
         if self.state is HealthState.FAILED:
@@ -60,6 +83,7 @@ class HealthMonitor:
         return self.state
 
     def record_failure(self, reason: str = "model failure") -> HealthState:
+        self.tick += 1
         self._ok_streak = 0
         self._fail_streak += 1
         if self.state is HealthState.HEALTHY:

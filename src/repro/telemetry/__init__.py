@@ -1,0 +1,80 @@
+"""Unified telemetry for the FOCUS reproduction.
+
+Four cooperating layers, all zero-cost when left unconfigured:
+
+- :mod:`repro.telemetry.metrics` — thread-safe counters / gauges /
+  fixed-exponential-bucket histograms in a :class:`MetricsRegistry`;
+- :mod:`repro.telemetry.tracer` — nested wall-clock spans
+  (``with tracer.span("epoch")``) that feed ``span_seconds`` histograms
+  and compose with :class:`~repro.profiling.profiler.OpProfiler`;
+- :mod:`repro.telemetry.runlog` — schema-versioned JSONL run events
+  (epoch, checkpoint, recovery, health, drift, chaos) with pluggable
+  sinks, including the byte-for-byte legacy stdout renderer;
+- :mod:`repro.telemetry.drift` — prototype-utilization / assignment-
+  entropy / drift monitors for the online phase, alarming into the
+  serving :class:`~repro.robustness.health.HealthMonitor`.
+
+Exposition: :func:`render_prometheus` / :func:`write_prometheus`
+(Prometheus text format) and :func:`summarize_run` (the ``repro
+monitor`` CLI).  See ``docs/observability.md`` for the metric and
+event taxonomy.
+"""
+
+from repro.telemetry.drift import (
+    DriftConfig,
+    DriftMonitor,
+    assignment_entropy,
+    total_variation,
+)
+from repro.telemetry.exporter import render_prometheus, write_prometheus
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TrainingInstruments,
+    exponential_buckets,
+)
+from repro.telemetry.monitor import follow_events, summarize_run, validate_run
+from repro.telemetry.runlog import (
+    EVENT_SCHEMAS,
+    NULL_LOGGER,
+    SCHEMA_VERSION,
+    JsonlSink,
+    RunLogger,
+    StdoutSink,
+    read_events,
+    validate_event,
+)
+from repro.telemetry.tracer import NULL_TRACER, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TrainingInstruments",
+    "DEFAULT_BUCKETS",
+    "exponential_buckets",
+    "Tracer",
+    "NULL_TRACER",
+    "SpanRecord",
+    "RunLogger",
+    "JsonlSink",
+    "StdoutSink",
+    "NULL_LOGGER",
+    "EVENT_SCHEMAS",
+    "SCHEMA_VERSION",
+    "read_events",
+    "validate_event",
+    "DriftConfig",
+    "DriftMonitor",
+    "assignment_entropy",
+    "total_variation",
+    "render_prometheus",
+    "write_prometheus",
+    "summarize_run",
+    "validate_run",
+    "follow_events",
+]

@@ -1,0 +1,97 @@
+"""Prometheus text-format exposition for a :class:`MetricsRegistry`.
+
+:func:`render_prometheus` produces the ``text/plain; version=0.0.4``
+format a Prometheus scraper (or ``promtool check metrics``) accepts::
+
+    # HELP focus_forecast_latency_seconds end-to-end forecast latency
+    # TYPE focus_forecast_latency_seconds histogram
+    focus_forecast_latency_seconds_bucket{le="0.0001"} 0
+    ...
+    focus_forecast_latency_seconds_bucket{le="+Inf"} 12
+    focus_forecast_latency_seconds_sum 0.84
+    focus_forecast_latency_seconds_count 12
+
+:func:`write_prometheus` drops the rendering into a run directory
+(``metrics.prom``) so a node-exporter-style textfile collector — or a
+human — can pick it up without the process serving HTTP.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _label_str(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = {**labels, **(extra or {})}
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape(str(val))}"' for key, val in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every instrument in the registry as exposition text."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for instrument in registry.collect():
+        name = instrument.name
+        if isinstance(instrument, Counter):
+            kind = "counter"
+        elif isinstance(instrument, Gauge):
+            kind = "gauge"
+        elif isinstance(instrument, Histogram):
+            kind = "histogram"
+        else:  # pragma: no cover - registry only creates the three above
+            continue
+        if name not in seen_headers:
+            seen_headers.add(name)
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {kind}")
+        if isinstance(instrument, Histogram):
+            cumulative = 0
+            for bound, count in zip(instrument.bounds, instrument.counts):
+                cumulative += count
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_label_str(instrument.labels, {'le': _format_value(bound)})} "
+                    f"{cumulative}"
+                )
+            cumulative += instrument.counts[-1]
+            lines.append(
+                f"{name}_bucket{_label_str(instrument.labels, {'le': '+Inf'})} "
+                f"{cumulative}"
+            )
+            lines.append(
+                f"{name}_sum{_label_str(instrument.labels)} "
+                f"{_format_value(instrument.sum)}"
+            )
+            lines.append(f"{name}_count{_label_str(instrument.labels)} {instrument.count}")
+        else:
+            lines.append(
+                f"{name}{_label_str(instrument.labels)} {_format_value(instrument.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, run_dir: str | Path) -> Path:
+    """Write ``metrics.prom`` into ``run_dir``; returns the path."""
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    path = run_dir / "metrics.prom"
+    path.write_text(render_prometheus(registry))
+    return path

@@ -1,0 +1,230 @@
+"""Thread-safe metrics primitives: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is the process-local home for every
+instrument a run creates.  Instruments are identified by a name plus an
+optional frozen label set (Prometheus style), created lazily and
+returned on repeat lookups, so call sites can resolve handles once and
+hit only a lock-free-ish fast path afterwards:
+
+    registry = MetricsRegistry()
+    forecasts = registry.counter("focus_forecasts_total")
+    latency = registry.histogram("focus_forecast_latency_seconds")
+    forecasts.inc()
+    latency.observe(0.0042)
+
+Histograms use *fixed exponential buckets* (``start * growth**i``) so
+two runs of the same config always produce comparable distributions and
+the Prometheus exposition (``repro.telemetry.exporter``) needs no
+negotiation.  All mutation is guarded by per-instrument locks; the
+registry lock is only taken on instrument creation/lookup.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+
+
+def exponential_buckets(start: float = 1e-4, growth: float = 4.0, count: int = 10) -> tuple[float, ...]:
+    """Upper bucket bounds ``start * growth**i`` for ``i in range(count)``.
+
+    The defaults span 100us .. ~26s, a sensible range for both
+    per-batch training steps and end-to-end forecast latencies.
+    """
+    if start <= 0 or growth <= 1 or count < 1:
+        raise ValueError("need start > 0, growth > 1, count >= 1")
+    return tuple(start * growth**i for i in range(count))
+
+
+DEFAULT_BUCKETS = exponential_buckets()
+
+
+class Counter:
+    """Monotonically increasing count (name should end in ``_total``)."""
+
+    __slots__ = ("name", "labels", "help", "_lock", "_value")
+
+    def __init__(self, name: str, labels: dict[str, str] | None = None, help: str = ""):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for deltas")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("name", "labels", "help", "_lock", "_value")
+
+    def __init__(self, name: str, labels: dict[str, str] | None = None, help: str = ""):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative Prometheus semantics.
+
+    ``bounds`` are the *upper* edges of the non-overflow buckets; one
+    implicit ``+Inf`` bucket catches the rest.  ``counts`` are per-bucket
+    (non-cumulative) tallies; the exporter cumulates them.
+    """
+
+    __slots__ = ("name", "labels", "help", "bounds", "_lock", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+        labels: dict[str, str] | None = None,
+        help: str = "",
+    ):
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.labels = dict(labels or {})
+        self.help = help
+        self.bounds = tuple(float(b) for b in bounds)
+        self._lock = threading.Lock()
+        self.counts = [0] * (len(self.bounds) + 1)  # last = +Inf overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the ``q``-th observation); 0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must lie in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                return self.bounds[index] if index < len(self.bounds) else math.inf
+        return math.inf
+
+
+def _key(name: str, labels: dict[str, str] | None) -> tuple:
+    return (name, tuple(sorted((labels or {}).items())))
+
+
+class MetricsRegistry:
+    """Get-or-create home for instruments, safe under concurrent access."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, cls, name, labels, factory):
+        key = _key(name, labels)
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, requested {cls.__name__}"
+                    )
+                return existing
+            instrument = factory()
+            self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, labels: dict[str, str] | None = None, help: str = "") -> Counter:
+        return self._get_or_create(
+            Counter, name, labels, lambda: Counter(name, labels, help)
+        )
+
+    def gauge(self, name: str, labels: dict[str, str] | None = None, help: str = "") -> Gauge:
+        return self._get_or_create(
+            Gauge, name, labels, lambda: Gauge(name, labels, help)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+        labels: dict[str, str] | None = None,
+        help: str = "",
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, labels, lambda: Histogram(name, bounds, labels, help)
+        )
+
+    def collect(self) -> list[Counter | Gauge | Histogram]:
+        """Stable-ordered snapshot of every registered instrument."""
+        with self._lock:
+            return [self._instruments[key] for key in sorted(self._instruments)]
+
+    def value(self, name: str, labels: dict[str, str] | None = None) -> float | None:
+        """Convenience lookup for tests/monitoring; None when absent."""
+        instrument = self._instruments.get(_key(name, labels))
+        if instrument is None:
+            return None
+        if isinstance(instrument, Histogram):
+            return instrument.mean
+        return instrument.value
+
+
+class TrainingInstruments:
+    """Pre-resolved handles for the trainer's per-batch hot loop.
+
+    Resolving instruments once per fit keeps the per-step cost to two
+    lock-guarded updates — and the trainer skips even that when
+    telemetry is disabled (a single ``is not None`` test per batch).
+    """
+
+    __slots__ = ("steps", "step_seconds", "loss")
+
+    def __init__(self, registry: MetricsRegistry):
+        self.steps = registry.counter(
+            "train_steps_total", help="optimizer steps taken"
+        )
+        self.step_seconds = registry.histogram(
+            "train_step_seconds", help="wall clock of one fwd+bwd+update step"
+        )
+        self.loss = registry.gauge("train_loss", help="last minibatch loss")
+
+    def record_step(self, loss: float, seconds: float) -> None:
+        self.steps.inc()
+        self.step_seconds.observe(seconds)
+        self.loss.set(loss)

@@ -1,0 +1,164 @@
+"""Run-directory inspection behind the ``repro monitor`` subcommand.
+
+A telemetry run directory contains ``events.jsonl`` (see
+:mod:`repro.telemetry.runlog`) and, when a metrics registry was
+attached, a ``metrics.prom`` Prometheus snapshot.  :func:`summarize_run`
+turns the event stream into the text tables the CLI renders;
+:func:`validate_run` re-checks every event against the v1 schema (the
+CI telemetry job's gate); :func:`follow_events` yields newly appended
+events for ``repro monitor --follow``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter as TallyCounter
+from pathlib import Path
+
+from repro.telemetry.runlog import read_events, validate_event
+
+
+def _format_table(rows, title=""):
+    # Imported lazily: repro.training.trainer imports repro.telemetry,
+    # so a module-level import here would create a cycle.
+    from repro.training.reporting import format_table
+
+    return format_table(rows, title=title)
+
+
+def validate_run(run_dir: str | Path) -> list[str]:
+    """Schema violations across the whole event file (empty = valid)."""
+    errors = []
+    for index, event in enumerate(read_events(run_dir)):
+        for problem in validate_event(event):
+            errors.append(f"event {index + 1} (seq {event.get('seq', '?')}): {problem}")
+    return errors
+
+
+def _epoch_rows(events: list[dict], last: int) -> list[dict]:
+    rows = []
+    for event in events:
+        if event.get("type") != "epoch":
+            continue
+        row = {
+            "epoch": event.get("epoch"),
+            "train_loss": round(float(event.get("train_loss", float("nan"))), 4),
+        }
+        if "val_loss" in event:
+            row["val_loss"] = round(float(event["val_loss"]), 4)
+        rows.append(row)
+    return rows[-last:]
+
+
+def summarize_run(run_dir: str | Path, last_epochs: int = 8) -> str:
+    """Human-readable digest of one run directory's event stream."""
+    run_dir = Path(run_dir)
+    events = read_events(run_dir)
+    sections: list[str] = []
+
+    counts = TallyCounter(event.get("type", "?") for event in events)
+    sections.append(
+        _format_table(
+            [{"event": kind, "count": count} for kind, count in sorted(counts.items())],
+            title=f"events in {run_dir} ({len(events)} total)",
+        )
+    )
+
+    epoch_rows = _epoch_rows(events, last_epochs)
+    if epoch_rows:
+        sections.append(_format_table(epoch_rows, title=f"last {len(epoch_rows)} epochs"))
+
+    transitions = [
+        {
+            "from": event.get("from"),
+            "to": event.get("to"),
+            "tick": event.get("tick"),
+            "reason": str(event.get("reason", ""))[:60],
+        }
+        for event in events
+        if event.get("type") == "health_transition"
+    ]
+    if transitions:
+        sections.append(_format_table(transitions, title="health transitions"))
+
+    recoveries = [
+        {
+            "epoch": event.get("epoch"),
+            "restored": event.get("restored_epoch"),
+            "lr": event.get("lr"),
+            "retry": f"{event.get('retry')}/{event.get('max_retries')}",
+        }
+        for event in events
+        if event.get("type") == "recovery"
+    ]
+    if recoveries:
+        sections.append(_format_table(recoveries, title="loss-spike recoveries"))
+
+    alarms = [
+        {
+            "metric": event.get("metric"),
+            "value": event.get("value"),
+            "threshold": event.get("threshold"),
+        }
+        for event in events
+        if event.get("type") == "drift_alarm"
+    ]
+    if alarms:
+        sections.append(_format_table(alarms, title="drift alarms"))
+
+    stream_rows = [event for event in events if event.get("type") == "stream_stats"]
+    if stream_rows:
+        latest = stream_rows[-1]
+        sections.append(
+            _format_table(
+                [
+                    {
+                        key: latest.get(key, "")
+                        for key in (
+                            "observations", "forecasts", "novel_segments",
+                            "fallback_forecasts", "health",
+                        )
+                    }
+                ],
+                title="latest stream stats",
+            )
+        )
+
+    prom = run_dir / "metrics.prom"
+    if prom.exists():
+        sections.append(f"prometheus snapshot: {prom}")
+    return "\n\n".join(sections)
+
+
+def follow_events(run_dir: str | Path, poll_seconds: float = 0.5, max_polls: int | None = None):
+    """Yield events appended to ``events.jsonl``, tail -f style.
+
+    Starts from the beginning of the file; ``max_polls`` bounds the
+    number of empty polls (None = follow until interrupted).
+    """
+    path = Path(run_dir)
+    if path.is_dir():
+        path = path / "events.jsonl"
+    import json
+
+    offset = 0
+    idle = 0
+    while True:
+        new = []
+        if path.exists():
+            with open(path) as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+                offset = handle.tell()
+            for line in chunk.splitlines():
+                line = line.strip()
+                if line:
+                    new.append(json.loads(line))
+        if new:
+            idle = 0
+            yield from new
+        else:
+            idle += 1
+            if max_polls is not None and idle >= max_polls:
+                return
+            time.sleep(poll_seconds)

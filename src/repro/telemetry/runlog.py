@@ -1,0 +1,193 @@
+"""Schema-versioned structured run logs (JSONL) with pluggable sinks.
+
+Every notable run event — epoch finished, checkpoint saved, loss-spike
+recovery, serving-health transition, drift alarm, chaos injection — is
+one JSON object on one line of ``<run_dir>/events.jsonl``::
+
+    {"schema": 1, "seq": 7, "ts": 1754515200.1, "type": "epoch",
+     "epoch": 3, "train_loss": 0.4181, "val_loss": 0.5012}
+
+The envelope keys ``schema``/``seq``/``ts``/``type`` are always
+present; :data:`EVENT_SCHEMAS` lists the required payload keys per
+event type, and :func:`validate_event` enforces them (used by the test
+suite, ``repro monitor --validate``, and the CI telemetry job).
+
+Sinks are pluggable.  :class:`JsonlSink` appends (and flushes) one line
+per event so ``tail -f`` / ``repro monitor --follow`` work live.
+:class:`StdoutSink` renders the *legacy human lines* — byte-for-byte
+what ``Trainer.fit(verbose=True)`` used to ``print`` — so replacing the
+prints with structured events is invisible to existing CLI users.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+ENVELOPE_KEYS = ("schema", "seq", "ts", "type")
+
+# Required payload keys per event type (schema v1).  Optional keys are
+# allowed freely; unknown event types fail validation.
+EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
+    "run_start": ("kind",),
+    "run_end": ("kind",),
+    "epoch": ("epoch", "train_loss"),
+    "recovery": ("epoch", "restored_epoch", "reason", "lr", "retry", "max_retries"),
+    "checkpoint_save": ("epoch",),
+    "checkpoint_resume": ("epoch",),
+    "health_transition": ("from", "to", "reason", "tick"),
+    "drift_alarm": ("metric", "value", "threshold", "reason"),
+    "chaos_injection": ("call", "kind"),
+    "cluster_fit": ("num_prototypes", "segment_length", "n_segments", "iterations", "inertia"),
+    "stream_stats": ("observations", "forecasts"),
+}
+
+
+def validate_event(event: dict) -> list[str]:
+    """Return the list of schema violations for one event (empty = valid)."""
+    errors = []
+    for key in ENVELOPE_KEYS:
+        if key not in event:
+            errors.append(f"missing envelope key {key!r}")
+    if event.get("schema") not in (None, SCHEMA_VERSION):
+        errors.append(f"unknown schema version {event.get('schema')!r}")
+    event_type = event.get("type")
+    if event_type not in EVENT_SCHEMAS:
+        errors.append(f"unknown event type {event_type!r}")
+        return errors
+    for key in EVENT_SCHEMAS[event_type]:
+        if key not in event:
+            errors.append(f"{event_type}: missing required key {key!r}")
+    return errors
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Parse an ``events.jsonl`` file (or a run directory containing one)."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / "events.jsonl"
+    events = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{line_number}: invalid JSON: {error}") from None
+    return events
+
+
+class JsonlSink:
+    """Append-only JSONL file sink, flushed per event for live tailing."""
+
+    def __init__(self, path: str | Path):
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self.path = path
+        self._handle = open(path, "a")
+
+    def write(self, event: dict) -> None:
+        self._handle.write(json.dumps(event, default=float) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+class StdoutSink:
+    """Render events as the legacy human-readable trainer lines.
+
+    Only event types that historically printed produce output; every
+    other event is silent, so ``verbose=True`` output is byte-for-byte
+    identical to the pre-telemetry ``print()`` calls.
+    """
+
+    def __init__(self, stream=None):
+        self.stream = stream
+
+    def _emit(self, line: str) -> None:
+        stream = self.stream if self.stream is not None else sys.stdout
+        stream.write(line + "\n")
+
+    def write(self, event: dict) -> None:
+        kind = event.get("type")
+        if kind == "epoch":
+            if "val_loss" in event:
+                self._emit(
+                    f"epoch {event['epoch']}: train {event['train_loss']:.4f} "
+                    f"val {event['val_loss']:.4f}"
+                )
+            else:
+                self._emit(f"epoch {event['epoch']}: train {event['train_loss']:.4f}")
+        elif kind == "checkpoint_resume":
+            self._emit(f"resumed from checkpoint at epoch {event['epoch']}")
+        elif kind == "recovery":
+            self._emit(
+                f"loss spike at epoch {event['epoch']}: rolled back to epoch "
+                f"{event['restored_epoch']}, lr halved to {event['lr']:.3e} "
+                f"(retry {event['retry']}/{event['max_retries']})"
+            )
+
+    def close(self) -> None:
+        pass
+
+
+class RunLogger:
+    """Fan events out to sinks with a shared sequence number.
+
+    A logger with no sinks is a cheap no-op (one attribute test per
+    :meth:`event` call), which is how disabled telemetry stays off the
+    hot path.
+    """
+
+    def __init__(self, sinks: list | None = None):
+        self.sinks = list(sinks or [])
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    @classmethod
+    def to_dir(cls, run_dir: str | Path, verbose: bool = False) -> "RunLogger":
+        """JSONL logger under ``run_dir`` (plus stdout when ``verbose``)."""
+        sinks: list = [JsonlSink(Path(run_dir) / "events.jsonl")]
+        if verbose:
+            sinks.append(StdoutSink())
+        return cls(sinks)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.sinks)
+
+    def event(self, event_type: str, **fields) -> dict | None:
+        """Emit one event; returns the enveloped record (None if no sinks)."""
+        if not self.sinks:
+            return None
+        if event_type not in EVENT_SCHEMAS:
+            raise ValueError(
+                f"unknown event type {event_type!r}; add it to EVENT_SCHEMAS"
+            )
+        with self._lock:
+            self._seq += 1
+            record = {
+                "schema": SCHEMA_VERSION,
+                "seq": self._seq,
+                "ts": time.time(),
+                "type": event_type,
+                **fields,
+            }
+            for sink in self.sinks:
+                sink.write(record)
+        return record
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+NULL_LOGGER = RunLogger([])

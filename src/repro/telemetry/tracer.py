@@ -1,0 +1,150 @@
+"""Nested wall-clock trace spans above the autograd op level.
+
+:class:`Tracer` attributes time to *logical phases* — ``epoch``,
+``epoch.validate``, ``checkpoint.save``, ``cluster.refine`` — the layer
+PR 3's :class:`~repro.profiling.profiler.OpProfiler` (per-op latency)
+cannot see.  Spans nest via a thread-local stack, so::
+
+    with tracer.span("epoch"):
+        with tracer.span("validate"):   # recorded as "epoch.validate"
+            ...
+
+Each finished span records its wall clock into
+
+- the tracer's own bounded in-memory log (:attr:`Tracer.finished`),
+- a ``span_seconds`` histogram in the attached
+  :class:`~repro.telemetry.metrics.MetricsRegistry` (labelled by path),
+- and, when an :class:`OpProfiler` is attached, a ``span:<path>`` note
+  on the profiler — so one ``repro profile --ops`` table can interleave
+  op-level and phase-level attribution.
+
+``NULL_TRACER`` is the disabled-mode stand-in: its :meth:`span` returns
+a shared reusable no-op context manager, so instrumented code keeps a
+single unconditional ``with tracer.span(...)`` shape at ~zero cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from collections import deque
+
+
+@dataclasses.dataclass
+class SpanRecord:
+    """One finished span: dotted path, start time, and duration."""
+
+    name: str
+    path: str
+    started: float
+    seconds: float
+    depth: int
+
+
+class _Span:
+    """Live span handle; becomes a :class:`SpanRecord` on exit."""
+
+    __slots__ = ("tracer", "name", "path", "depth", "_started")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self.tracer = tracer
+        self.name = name
+        self.path = name
+        self.depth = 0
+        self._started = 0.0
+
+    def __enter__(self) -> "_Span":
+        stack = self.tracer._stack()
+        parent = stack[-1] if stack else None
+        if parent is not None:
+            self.path = f"{parent.path}.{self.name}"
+            self.depth = parent.depth + 1
+        stack.append(self)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        seconds = time.perf_counter() - self._started
+        self.tracer._stack().pop()
+        self.tracer._finish(self, seconds)
+
+
+class _NullSpan:
+    """Reusable no-op context manager for the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Span factory wiring durations into metrics and the op profiler."""
+
+    def __init__(self, registry=None, op_profiler=None, keep: int = 1024):
+        self.registry = registry
+        self.op_profiler = op_profiler
+        self.finished: deque[SpanRecord] = deque(maxlen=keep)
+        self._local = threading.local()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str) -> _Span:
+        return _Span(self, name)
+
+    def _finish(self, span: _Span, seconds: float) -> None:
+        self.finished.append(
+            SpanRecord(
+                name=span.name,
+                path=span.path,
+                started=span._started,
+                seconds=seconds,
+                depth=span.depth,
+            )
+        )
+        if self.registry is not None:
+            self.registry.histogram(
+                "span_seconds", labels={"span": span.path},
+                help="wall clock per trace span",
+            ).observe(seconds)
+        if self.op_profiler is not None:
+            # The profiler attributes elapsed-since-last-event time; a
+            # span *note* closes out the phase under its dotted path so
+            # op rows and phase rows share one table.
+            self.op_profiler.note(f"span:{span.path}")
+
+    def totals(self) -> dict[str, float]:
+        """Total seconds per span path (over the retained window)."""
+        sums: dict[str, float] = {}
+        for record in self.finished:
+            sums[record.path] = sums.get(record.path, 0.0) + record.seconds
+        return sums
+
+
+class _NullTracer:
+    """Disabled tracer: ``span()`` hands back one shared no-op manager."""
+
+    __slots__ = ()
+    registry = None
+    op_profiler = None
+    finished: tuple = ()
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def totals(self) -> dict[str, float]:
+        return {}
+
+
+NULL_TRACER = _NullTracer()

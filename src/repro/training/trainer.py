@@ -15,6 +15,17 @@ Fault tolerance (opt-in via ``TrainerConfig.checkpoint_dir``):
   ``max_recovery_retries`` times per fit — instead of aborting the
   run.  Without a checkpoint the historical hard failure
   (:class:`NonFiniteLossError`) is preserved.
+
+Observability (see ``docs/observability.md``): every notable event —
+epoch, checkpoint save/resume, loss-spike recovery — is emitted through
+a :class:`~repro.telemetry.runlog.RunLogger` instead of bare prints.
+``TrainerConfig.verbose`` routes events through a stdout sink that
+reproduces the historical CLI lines byte-for-byte;
+``TrainerConfig.telemetry_dir`` additionally writes schema-versioned
+JSONL events plus a Prometheus metrics snapshot (span timings and
+per-step latency/loss instruments) into the run directory.  With both
+off, the only residue on the hot loop is one ``is not None`` test per
+batch.
 """
 
 from __future__ import annotations
@@ -32,6 +43,16 @@ from repro.nn import Module
 from repro.nn import init as nn_init
 from repro.optim import AdamW, clip_grad_norm
 from repro.robustness.checkpoint import CheckpointManager
+from repro.telemetry import (
+    NULL_LOGGER,
+    NULL_TRACER,
+    MetricsRegistry,
+    RunLogger,
+    StdoutSink,
+    Tracer,
+    TrainingInstruments,
+    write_prometheus,
+)
 from repro.training.metrics import evaluate_forecast
 
 
@@ -62,6 +83,9 @@ class TrainerConfig:
     # A finite epoch loss this many times the best epoch loss so far is
     # treated as a spike (recovery only; never a hard failure).
     loss_explosion_factor: float = 1e4
+    # Telemetry (inert unless set): run directory receiving JSONL events
+    # (events.jsonl) and a Prometheus metrics snapshot (metrics.prom).
+    telemetry_dir: str | None = None
 
 
 @dataclasses.dataclass
@@ -89,12 +113,43 @@ class Trainer:
     weights at the end (early stopping with ``patience``).
     """
 
-    def __init__(self, model: Module, config: TrainerConfig | None = None):
+    def __init__(
+        self,
+        model: Module,
+        config: TrainerConfig | None = None,
+        run_logger: RunLogger | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
         self.model = model
         self.config = config or TrainerConfig()
         self.optimizer = AdamW(
             model.parameters(), lr=self.config.lr, weight_decay=self.config.weight_decay
         )
+        # Externally-owned telemetry (e.g. one logger shared by training
+        # and streaming); when None, fit() builds its own from the config.
+        self.run_logger = run_logger
+        self.registry = registry
+
+    def _fit_telemetry(self):
+        """Resolve (logger, registry, tracer, instruments, owns_logger)."""
+        cfg = self.config
+        owns = False
+        logger = self.run_logger
+        if logger is None:
+            if cfg.telemetry_dir:
+                logger = RunLogger.to_dir(cfg.telemetry_dir, verbose=cfg.verbose)
+                owns = True
+            elif cfg.verbose:
+                logger = RunLogger([StdoutSink()])
+                owns = True
+            else:
+                logger = NULL_LOGGER
+        registry = self.registry
+        if registry is None and cfg.telemetry_dir:
+            registry = MetricsRegistry()
+        tracer = Tracer(registry) if registry is not None else NULL_TRACER
+        instruments = TrainingInstruments(registry) if registry is not None else None
+        return logger, registry, tracer, instruments, owns
 
     def _model_dtype(self) -> np.dtype:
         """The parameter dtype batches must match (float32/float64 runs)."""
@@ -105,11 +160,14 @@ class Trainer:
         """Wrap a loader batch once, casting only on a dtype mismatch."""
         return Tensor(array if array.dtype == dtype else array.astype(dtype))
 
-    def _epoch(self, loader: DataLoader) -> float:
+    def _epoch(
+        self, loader: DataLoader, instruments: TrainingInstruments | None = None
+    ) -> float:
         self.model.train()
         dtype = self._model_dtype()
         total, batches = 0.0, 0
         for x_batch, y_batch in loader:
+            step_started = time.perf_counter() if instruments is not None else 0.0
             x = self._as_batch(x_batch, dtype)
             y = self._as_batch(y_batch, dtype)
             pred = self.model(x)
@@ -126,6 +184,10 @@ class Trainer:
             self.optimizer.step()
             total += loss.item()
             batches += 1
+            if instruments is not None:
+                instruments.record_step(
+                    loss.item(), time.perf_counter() - step_started
+                )
         return total / max(batches, 1)
 
     def validation_loss(self, dataset: SlidingWindowDataset, max_batches: int | None = None) -> float:
@@ -253,6 +315,27 @@ class Trainer:
         val_dataset: SlidingWindowDataset | None = None,
     ) -> TrainingHistory:
         cfg = self.config
+        logger, registry, tracer, instruments, owns_logger = self._fit_telemetry()
+        try:
+            return self._fit(
+                train_dataset, val_dataset, logger, registry, tracer, instruments
+            )
+        finally:
+            if registry is not None and cfg.telemetry_dir:
+                write_prometheus(registry, cfg.telemetry_dir)
+            if owns_logger:
+                logger.close()
+
+    def _fit(
+        self,
+        train_dataset: SlidingWindowDataset,
+        val_dataset: SlidingWindowDataset | None,
+        logger: RunLogger,
+        registry: MetricsRegistry | None,
+        tracer,
+        instruments: TrainingInstruments | None,
+    ) -> TrainingHistory:
+        cfg = self.config
         loader = DataLoader(
             train_dataset, cfg.batch_size, shuffle=True, seed=cfg.seed
         )
@@ -261,6 +344,15 @@ class Trainer:
         bad_epochs = 0
         start_epoch = 0
         prior_seconds = 0.0
+        logger.event(
+            "run_start",
+            kind="fit",
+            model=type(self.model).__name__,
+            epochs=cfg.epochs,
+            batch_size=cfg.batch_size,
+            lr=cfg.lr,
+            dtype=self._model_dtype().name,
+        )
         manager = None
         if cfg.checkpoint_dir:
             manager = CheckpointManager(cfg.checkpoint_dir, keep=cfg.keep_checkpoints)
@@ -273,14 +365,14 @@ class Trainer:
                     bad_epochs = int(meta["bad_epochs"])
                     prior_seconds = float(meta.get("train_seconds", 0.0))
                     start_epoch = ckpt_epoch + 1
-                    if cfg.verbose:
-                        print(f"resumed from checkpoint at epoch {ckpt_epoch}")
+                    logger.event("checkpoint_resume", epoch=ckpt_epoch)
         retries = 0
         started = time.perf_counter()
         epoch = start_epoch
         while epoch < cfg.epochs:
             try:
-                train_loss = self._epoch(loader)
+                with tracer.span("epoch.train"):
+                    train_loss = self._epoch(loader, instruments)
                 if self._can_recover(manager, retries) and self._is_explosion(
                     train_loss, history
                 ):
@@ -312,17 +404,21 @@ class Trainer:
                         "lr": halved_lr,
                     }
                 )
-                if cfg.verbose:
-                    print(
-                        f"loss spike at epoch {epoch}: rolled back to epoch "
-                        f"{ckpt_epoch}, lr halved to {halved_lr:.3e} "
-                        f"(retry {retries}/{cfg.max_recovery_retries})"
-                    )
+                logger.event(
+                    "recovery",
+                    epoch=epoch,
+                    restored_epoch=ckpt_epoch,
+                    reason=str(error),
+                    lr=halved_lr,
+                    retry=retries,
+                    max_retries=cfg.max_recovery_retries,
+                )
                 epoch = ckpt_epoch + 1
                 continue
             history.train_losses.append(train_loss)
             if val_dataset is not None:
-                val_loss = self.validation_loss(val_dataset)
+                with tracer.span("epoch.validate"):
+                    val_loss = self.validation_loss(val_dataset)
                 history.val_losses.append(val_loss)
                 if history.best_epoch < 0 or val_loss < history.best_val_loss:
                     history.best_epoch = epoch
@@ -340,28 +436,39 @@ class Trainer:
                     bad_epochs = 0
                 else:
                     bad_epochs += 1
-                if cfg.verbose:
-                    print(f"epoch {epoch}: train {train_loss:.4f} val {val_loss:.4f}")
+                logger.event(
+                    "epoch", epoch=epoch, train_loss=train_loss, val_loss=val_loss
+                )
                 if bad_epochs > cfg.patience:
                     break
-            elif cfg.verbose:
-                print(f"epoch {epoch}: train {train_loss:.4f}")
+            else:
+                logger.event("epoch", epoch=epoch, train_loss=train_loss)
             if (
                 manager is not None
                 and cfg.checkpoint_every
                 and (epoch + 1) % cfg.checkpoint_every == 0
             ):
-                manager.save(
-                    self._pack_checkpoint(
-                        epoch, history, best_state, bad_epochs, loader,
-                        prior_seconds, started,
-                    ),
-                    epoch,
-                )
+                with tracer.span("checkpoint.save"):
+                    path = manager.save(
+                        self._pack_checkpoint(
+                            epoch, history, best_state, bad_epochs, loader,
+                            prior_seconds, started,
+                        ),
+                        epoch,
+                    )
+                logger.event("checkpoint_save", epoch=epoch, path=str(path))
             epoch += 1
         if best_state is not None:
             self.model.load_state_dict(best_state)
         history.train_seconds = prior_seconds + (time.perf_counter() - started)
+        logger.event(
+            "run_end",
+            kind="fit",
+            train_seconds=history.train_seconds,
+            best_epoch=history.best_epoch,
+            epochs_run=len(history.train_losses),
+            recoveries=len(history.recoveries),
+        )
         return history
 
     def _can_recover(self, manager: CheckpointManager | None, retries: int) -> bool:

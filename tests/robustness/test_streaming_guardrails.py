@@ -113,19 +113,87 @@ class TestHealthMonitor:
         monitor.record_success()
         monitor.record_success()
         assert monitor.state is HealthState.HEALTHY
-        transitions = [(src, dst) for src, dst, _ in monitor.transitions]
+        transitions = [(src, dst) for src, dst, _, _ in monitor.transitions]
         assert transitions == [
             ("HEALTHY", "DEGRADED"),
             ("DEGRADED", "FAILED"),
             ("FAILED", "DEGRADED"),
             ("DEGRADED", "HEALTHY"),
         ]
+        # Ticks are the 1-based record index at which each flip happened.
+        ticks = [tick for _, _, _, tick in monitor.transitions]
+        assert ticks == [1, 2, 3, 5]
+
+    def test_transition_history_is_bounded(self):
+        monitor = HealthMonitor(fail_threshold=1, recover_after=1, history=4)
+        for _ in range(20):  # each pair flips DEGRADED->...->HEALTHY twice
+            monitor.record_failure()
+            monitor.record_success()
+        assert len(monitor.transitions) == 4
+        # Newest transitions survive; the oldest were evicted.
+        assert monitor.transitions[-1][3] == monitor.tick
+
+    def test_on_transition_callback_sees_every_flip(self):
+        seen = []
+        monitor = HealthMonitor(
+            fail_threshold=2, recover_after=1,
+            on_transition=lambda *record: seen.append(record),
+        )
+        monitor.record_failure("boom")
+        monitor.record_success()
+        assert seen == [
+            ("HEALTHY", "DEGRADED", "boom", 1),
+            ("DEGRADED", "HEALTHY", "1 consecutive successes", 2),
+        ]
+        assert list(monitor.transitions) == seen
+
+    def test_interleaved_streaks_match_reference_simulation(self, rng):
+        """Property-style check: under arbitrary interleavings of
+        success/failure, the monitor must agree with an independent
+        straight-line reference simulation of the spec."""
+
+        def reference(outcomes, fail_threshold, recover_after):
+            state, fails, oks, states = "HEALTHY", 0, 0, []
+            for ok in outcomes:
+                if ok:
+                    fails, oks = 0, oks + 1
+                    if state == "FAILED":
+                        state = "DEGRADED"
+                    elif state == "DEGRADED" and oks >= recover_after:
+                        state = "HEALTHY"
+                else:
+                    oks, fails = 0, fails + 1
+                    if state == "HEALTHY":
+                        state = "DEGRADED"
+                    elif state == "DEGRADED" and fails >= fail_threshold:
+                        state = "FAILED"
+                states.append(state)
+            return states
+
+        for trial in range(25):
+            fail_threshold = int(rng.integers(1, 5))
+            recover_after = int(rng.integers(1, 5))
+            outcomes = rng.random(200) < rng.uniform(0.2, 0.8)
+            monitor = HealthMonitor(
+                fail_threshold=fail_threshold, recover_after=recover_after
+            )
+            expected = reference(outcomes, fail_threshold, recover_after)
+            for step, ok in enumerate(outcomes):
+                state = (
+                    monitor.record_success() if ok else monitor.record_failure()
+                )
+                assert state.value == expected[step], (
+                    f"trial {trial} step {step}: {state.value} != {expected[step]}"
+                )
+            assert monitor.tick == len(outcomes)
 
     def test_parameter_validation(self):
         with pytest.raises(ValueError):
             HealthMonitor(fail_threshold=0)
         with pytest.raises(ValueError):
             HealthMonitor(recover_after=0)
+        with pytest.raises(ValueError):
+            HealthMonitor(history=0)
 
 
 @pytest.mark.chaos

@@ -1,0 +1,61 @@
+"""Prometheus text exposition format tests."""
+
+from repro.telemetry import MetricsRegistry, render_prometheus, write_prometheus
+
+
+def build_registry():
+    registry = MetricsRegistry()
+    registry.counter("jobs_total", help="jobs processed").inc(3)
+    registry.gauge("queue_depth").set(2.5)
+    hist = registry.histogram("latency_seconds", bounds=(0.1, 1.0))
+    for value in (0.05, 0.5, 5.0):
+        hist.observe(value)
+    return registry
+
+
+class TestRender:
+    def test_counter_and_gauge_lines(self):
+        text = render_prometheus(build_registry())
+        assert "# HELP jobs_total jobs processed" in text
+        assert "# TYPE jobs_total counter" in text
+        assert "jobs_total 3" in text
+        assert "# TYPE queue_depth gauge" in text
+        assert "queue_depth 2.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_prometheus(build_registry())
+        lines = [line for line in text.splitlines() if line.startswith("latency")]
+        assert lines == [
+            'latency_seconds_bucket{le="0.1"} 1',
+            'latency_seconds_bucket{le="1"} 2',
+            'latency_seconds_bucket{le="+Inf"} 3',
+            "latency_seconds_sum 5.55",
+            "latency_seconds_count 3",
+        ]
+
+    def test_labelled_series_share_one_header(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", labels={"proto": "0"}).inc()
+        registry.counter("hits_total", labels={"proto": "1"}).inc(2)
+        text = render_prometheus(registry)
+        assert text.count("# TYPE hits_total counter") == 1
+        assert 'hits_total{proto="0"} 1' in text
+        assert 'hits_total{proto="1"} 2' in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", labels={"k": 'a"b\\c'}).inc()
+        text = render_prometheus(registry)
+        assert 'odd_total{k="a\\"b\\\\c"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestWrite:
+    def test_write_prometheus_creates_snapshot(self, tmp_path):
+        run_dir = tmp_path / "nested" / "run"
+        path = write_prometheus(build_registry(), run_dir)
+        assert path == run_dir / "metrics.prom"
+        assert "jobs_total 3" in path.read_text()

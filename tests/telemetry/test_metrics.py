@@ -1,0 +1,165 @@
+"""Tests for the metrics primitives and the registry."""
+
+import math
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TrainingInstruments,
+    exponential_buckets,
+)
+
+
+class TestBuckets:
+    def test_exponential_buckets_geometry(self):
+        bounds = exponential_buckets(start=1.0, growth=2.0, count=5)
+        assert bounds == (1.0, 2.0, 4.0, 8.0, 16.0)
+
+    def test_default_buckets_span_training_latencies(self):
+        assert DEFAULT_BUCKETS[0] == pytest.approx(1e-4)
+        assert DEFAULT_BUCKETS[-1] > 10.0  # slow epochs still land in-range
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            exponential_buckets(start=0.0)
+        with pytest.raises(ValueError):
+            exponential_buckets(growth=1.0)
+        with pytest.raises(ValueError):
+            exponential_buckets(count=0)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("x_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("x_total").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(4.0)
+        gauge.add(-1.5)
+        assert gauge.value == 2.5
+
+
+class TestHistogram:
+    def test_observe_routes_to_correct_buckets(self):
+        hist = Histogram("h", bounds=(1.0, 10.0, 100.0))
+        for value in [0.5, 1.0, 5.0, 50.0, 500.0]:
+            hist.observe(value)
+        # bisect_left: a value equal to a bound lands in that bound's bucket.
+        assert hist.counts == [2, 1, 1, 1]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(556.5)
+        assert hist.mean == pytest.approx(556.5 / 5)
+
+    def test_quantile_bucket_resolution(self):
+        hist = Histogram("h", bounds=(1.0, 10.0, 100.0))
+        for _ in range(9):
+            hist.observe(0.5)
+        hist.observe(500.0)
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(1.0) == math.inf
+        assert Histogram("empty").quantile(0.9) == 0.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_non_increasing_bounds_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", bounds=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", bounds=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+
+    def test_labels_distinguish_instruments(self):
+        registry = MetricsRegistry()
+        left = registry.counter("a_total", labels={"k": "0"})
+        right = registry.counter("a_total", labels={"k": "1"})
+        assert left is not right
+        left.inc(3)
+        assert registry.value("a_total", labels={"k": "0"}) == 3
+        assert registry.value("a_total", labels={"k": "1"}) == 0
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        first = registry.gauge("g", labels={"a": "1", "b": "2"})
+        second = registry.gauge("g", labels={"b": "2", "a": "1"})
+        assert first is second
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+
+    def test_value_absent_returns_none(self):
+        assert MetricsRegistry().value("nope") is None
+
+    def test_collect_is_stable_ordered(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total")
+        registry.counter("a_total")
+        names = [instrument.name for instrument in registry.collect()]
+        assert names == sorted(names)
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hammer_total")
+        hist = registry.histogram("hammer_seconds")
+        per_thread, threads = 2000, 8
+
+        def worker():
+            for _ in range(per_thread):
+                counter.inc()
+                hist.observe(0.001)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert counter.value == per_thread * threads
+        assert hist.count == per_thread * threads
+
+    def test_concurrent_get_or_create_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        results = []
+
+        def worker():
+            results.append(registry.counter("shared_total"))
+
+        pool = [threading.Thread(target=worker) for _ in range(16)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert all(instrument is results[0] for instrument in results)
+
+
+class TestTrainingInstruments:
+    def test_record_step_updates_all_three(self):
+        registry = MetricsRegistry()
+        instruments = TrainingInstruments(registry)
+        instruments.record_step(loss=0.25, seconds=0.01)
+        instruments.record_step(loss=0.20, seconds=0.02)
+        assert registry.value("train_steps_total") == 2
+        assert registry.value("train_loss") == 0.20
+        assert registry.counter("train_steps_total").value == 2

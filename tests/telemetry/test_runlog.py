@@ -1,0 +1,172 @@
+"""Round-trip and schema tests for the JSONL run log."""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import (
+    EVENT_SCHEMAS,
+    NULL_LOGGER,
+    SCHEMA_VERSION,
+    JsonlSink,
+    RunLogger,
+    StdoutSink,
+    read_events,
+    validate_event,
+    validate_run,
+)
+
+# Minimal valid payload per event type, used to exercise every schema.
+SAMPLE_PAYLOADS = {
+    "run_start": {"kind": "fit"},
+    "run_end": {"kind": "fit"},
+    "epoch": {"epoch": 0, "train_loss": 0.5},
+    "recovery": {
+        "epoch": 3, "restored_epoch": 2, "reason": "spike", "lr": 1e-3,
+        "retry": 1, "max_retries": 3,
+    },
+    "checkpoint_save": {"epoch": 1},
+    "checkpoint_resume": {"epoch": 1},
+    "health_transition": {
+        "from": "HEALTHY", "to": "DEGRADED", "reason": "drift", "tick": 7,
+    },
+    "drift_alarm": {
+        "metric": "assignment_tv", "value": 0.4, "threshold": 0.35,
+        "reason": "drift",
+    },
+    "chaos_injection": {"call": 3, "kind": "nan"},
+    "cluster_fit": {
+        "num_prototypes": 8, "segment_length": 12, "n_segments": 100,
+        "iterations": 9, "inertia": 1.2,
+    },
+    "stream_stats": {"observations": 10, "forecasts": 2},
+}
+
+
+class TestSchema:
+    def test_sample_payloads_cover_every_event_type(self):
+        assert set(SAMPLE_PAYLOADS) == set(EVENT_SCHEMAS)
+
+    @pytest.mark.parametrize("event_type", sorted(EVENT_SCHEMAS))
+    def test_write_parse_validate_round_trip(self, tmp_path, event_type):
+        logger = RunLogger.to_dir(tmp_path)
+        record = logger.event(event_type, **SAMPLE_PAYLOADS[event_type])
+        logger.close()
+        assert validate_event(record) == []
+        events = read_events(tmp_path)
+        assert len(events) == 1
+        parsed = events[0]
+        assert parsed["schema"] == SCHEMA_VERSION
+        assert parsed["seq"] == 1
+        assert parsed["type"] == event_type
+        assert validate_event(parsed) == []
+        for key, value in SAMPLE_PAYLOADS[event_type].items():
+            assert parsed[key] == value
+
+    @pytest.mark.parametrize("event_type", sorted(EVENT_SCHEMAS))
+    def test_missing_required_key_fails_validation(self, event_type):
+        payload = dict(SAMPLE_PAYLOADS[event_type])
+        dropped = sorted(payload)[0]
+        del payload[dropped]
+        event = {"schema": SCHEMA_VERSION, "seq": 1, "ts": 0.0,
+                 "type": event_type, **payload}
+        problems = validate_event(event)
+        if dropped in EVENT_SCHEMAS[event_type]:
+            assert any(dropped in problem for problem in problems)
+        else:
+            assert problems == []
+
+    def test_unknown_type_and_missing_envelope_flagged(self):
+        problems = validate_event({"type": "martian"})
+        assert any("unknown event type" in problem for problem in problems)
+        assert any("envelope" in problem for problem in problems)
+
+    def test_unknown_schema_version_flagged(self):
+        event = {"schema": 99, "seq": 1, "ts": 0.0, "type": "run_start",
+                 "kind": "fit"}
+        assert any("schema version" in p for p in validate_event(event))
+
+
+class TestRunLogger:
+    def test_unknown_event_type_raises_at_emit(self, tmp_path):
+        logger = RunLogger.to_dir(tmp_path)
+        with pytest.raises(ValueError, match="unknown event type"):
+            logger.event("made_up", foo=1)
+        logger.close()
+
+    def test_sequence_numbers_are_monotonic(self, tmp_path):
+        logger = RunLogger.to_dir(tmp_path)
+        for epoch in range(5):
+            logger.event("epoch", epoch=epoch, train_loss=0.1)
+        logger.close()
+        assert [event["seq"] for event in read_events(tmp_path)] == [1, 2, 3, 4, 5]
+
+    def test_null_logger_is_noop(self):
+        assert NULL_LOGGER.event("epoch", epoch=0, train_loss=0.1) is None
+        assert not NULL_LOGGER.enabled
+        # Unknown types are not even checked when disabled (hot-path cheap).
+        assert NULL_LOGGER.event("made_up") is None
+
+    def test_jsonl_sink_appends_and_flushes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.write({"a": 1})
+        # Flushed per event: visible before close.
+        assert json.loads(path.read_text()) == {"a": 1}
+        sink.close()
+
+    def test_validate_run_reports_line_numbers(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        good = {"schema": 1, "seq": 1, "ts": 0.0, "type": "run_start",
+                "kind": "fit"}
+        bad = {"schema": 1, "seq": 2, "ts": 0.0, "type": "epoch"}
+        path.write_text(json.dumps(good) + "\n" + json.dumps(bad) + "\n")
+        errors = validate_run(tmp_path)
+        assert len(errors) == 2  # epoch + train_loss both missing
+        assert all("event 2" in error for error in errors)
+
+    def test_read_events_rejects_corrupt_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="invalid JSON"):
+            read_events(path)
+
+
+class TestStdoutSink:
+    """The sink must reproduce the legacy print() lines byte-for-byte."""
+
+    def _render(self, event):
+        stream = io.StringIO()
+        StdoutSink(stream).write(event)
+        return stream.getvalue()
+
+    def test_epoch_with_validation(self):
+        line = self._render(
+            {"type": "epoch", "epoch": 3, "train_loss": 0.41188,
+             "val_loss": 0.50124}
+        )
+        assert line == "epoch 3: train 0.4119 val 0.5012\n"
+
+    def test_epoch_without_validation(self):
+        line = self._render({"type": "epoch", "epoch": 0, "train_loss": 1.0})
+        assert line == "epoch 0: train 1.0000\n"
+
+    def test_checkpoint_resume(self):
+        line = self._render({"type": "checkpoint_resume", "epoch": 4})
+        assert line == "resumed from checkpoint at epoch 4\n"
+
+    def test_recovery(self):
+        line = self._render(
+            {"type": "recovery", "epoch": 5, "restored_epoch": 4,
+             "reason": "spike", "lr": 0.0025, "retry": 1, "max_retries": 3}
+        )
+        assert line == (
+            "loss spike at epoch 5: rolled back to epoch 4, "
+            "lr halved to 2.500e-03 (retry 1/3)\n"
+        )
+
+    def test_non_legacy_events_are_silent(self):
+        for event_type in ("run_start", "run_end", "checkpoint_save",
+                           "health_transition", "drift_alarm", "stream_stats"):
+            assert self._render({"type": event_type}) == ""

@@ -1,0 +1,130 @@
+"""Tests for nested trace spans and their profiler/metrics composition."""
+
+import threading
+
+from repro.telemetry import NULL_TRACER, MetricsRegistry, Tracer
+
+
+class TestSpans:
+    def test_flat_span_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("epoch"):
+            pass
+        assert len(tracer.finished) == 1
+        record = tracer.finished[0]
+        assert record.path == "epoch"
+        assert record.depth == 0
+        assert record.seconds >= 0.0
+
+    def test_nested_spans_build_dotted_paths(self):
+        tracer = Tracer()
+        with tracer.span("epoch"):
+            with tracer.span("train"):
+                pass
+            with tracer.span("validate"):
+                pass
+        paths = [record.path for record in tracer.finished]
+        # Children finish before the parent.
+        assert paths == ["epoch.train", "epoch.validate", "epoch"]
+        assert tracer.finished[0].depth == 1
+        assert tracer.finished[-1].depth == 0
+
+    def test_stack_unwinds_after_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("outer"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        with tracer.span("next"):
+            pass
+        assert [record.path for record in tracer.finished] == ["outer", "next"]
+
+    def test_totals_aggregate_by_path(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("epoch"):
+                pass
+        totals = tracer.totals()
+        assert set(totals) == {"epoch"}
+        assert totals["epoch"] >= 0.0
+
+    def test_finished_log_is_bounded(self):
+        tracer = Tracer(keep=4)
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer.finished) == 4
+        assert tracer.finished[-1].path == "s9"
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        errors = []
+
+        def worker(name):
+            try:
+                with tracer.span(name):
+                    with tracer.span("inner"):
+                        pass
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        pool = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(8)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert not errors
+        inner_paths = {
+            record.path for record in tracer.finished if record.name == "inner"
+        }
+        # No cross-thread nesting: every inner span has its own thread's parent.
+        assert inner_paths == {f"t{i}.inner" for i in range(8)}
+
+
+class TestComposition:
+    def test_spans_feed_span_seconds_histogram(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry)
+        with tracer.span("epoch"):
+            with tracer.span("train"):
+                pass
+        hist = registry.histogram("span_seconds", labels={"span": "epoch.train"})
+        assert hist.count == 1
+        assert registry.histogram("span_seconds", labels={"span": "epoch"}).count == 1
+
+    def test_spans_note_the_op_profiler(self):
+        class FakeProfiler:
+            def __init__(self):
+                self.notes = []
+
+            def note(self, label):
+                self.notes.append(label)
+
+        profiler = FakeProfiler()
+        tracer = Tracer(op_profiler=profiler)
+        with tracer.span("cluster"):
+            with tracer.span("refine"):
+                pass
+        assert profiler.notes == ["span:cluster.refine", "span:cluster"]
+
+    def test_spans_compose_with_real_op_profiler(self):
+        from repro.profiling import profile_ops
+
+        with profile_ops() as prof:
+            tracer = Tracer(op_profiler=prof)
+            with tracer.span("phase"):
+                pass
+        assert any("span:phase" in row for row in prof.table().splitlines())
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        span = NULL_TRACER.span("anything")
+        with span:
+            pass
+        assert NULL_TRACER.span("other") is span  # one shared no-op handle
+        assert NULL_TRACER.totals() == {}
+        assert NULL_TRACER.finished == ()

@@ -21,6 +21,7 @@ class TestParser:
             "profile",
             "compare",
             "bench",
+            "monitor",
         }
 
     def test_requires_subcommand(self):
@@ -153,3 +154,86 @@ class TestCommands:
         monkeypatch.chdir(tmp_path)
         assert main(["bench", "--quick", "--out", ""]) == 0
         assert not (tmp_path / "BENCH_hotpath.json").exists()
+
+    def test_bench_reports_telemetry_overhead(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "bench.json")
+        assert main(["bench", "--quick", "--out", path]) == 0
+        assert "telemetry" in capsys.readouterr().out
+        with open(path) as handle:
+            report = json.load(handle)
+        assert report["schema"] == 3
+        telemetry = report["telemetry"]
+        assert telemetry["events_per_s"] > 0
+        assert telemetry["off_ms"] > 0 and telemetry["on_ms"] > 0
+        # The disabled-telemetry overhead gate CI enforces (<= 2%); allow a
+        # little noise headroom here since quick mode uses few rounds.
+        assert telemetry["overhead_off_pct"] < 5.0
+
+
+class TestTelemetryCommands:
+    RUN_ARGS = [
+        "run", "--model", "DLinear", "--dataset", "ETTh1",
+        "--lookback", "48", "--horizon", "12", "--epochs", "1",
+    ]
+
+    def test_run_writes_telemetry_dir(self, capsys, tmp_path):
+        from repro.telemetry import read_events, validate_event
+
+        run_dir = tmp_path / "telem"
+        assert main(self.RUN_ARGS + ["--telemetry-dir", str(run_dir)]) == 0
+        events = read_events(run_dir)
+        for event in events:
+            assert validate_event(event) == [], event
+        kinds = [event["type"] for event in events]
+        assert "run_start" in kinds and "epoch" in kinds and "run_end" in kinds
+        assert (run_dir / "metrics.prom").exists()
+
+    def test_cluster_writes_telemetry_dir(self, capsys, tmp_path):
+        from repro.telemetry import read_events
+
+        run_dir = tmp_path / "telem"
+        code = main(
+            ["cluster", "--dataset", "ETTh1", "-k", "3", "-p", "8",
+             "--telemetry-dir", str(run_dir)]
+        )
+        assert code == 0
+        kinds = [event["type"] for event in read_events(run_dir)]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert "cluster_fit" in kinds
+        prom = (run_dir / "metrics.prom").read_text()
+        assert 'span_seconds_bucket{le="+Inf",span="cluster.fit"}' in prom
+
+    def test_monitor_summarizes_run(self, capsys, tmp_path):
+        run_dir = tmp_path / "telem"
+        assert main(self.RUN_ARGS + ["--telemetry-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+        assert main(["monitor", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "events in" in out
+        assert "run_start" in out and "epoch" in out
+        assert "metrics.prom" in out
+
+    def test_monitor_validate_passes_and_fails(self, capsys, tmp_path):
+        run_dir = tmp_path / "telem"
+        assert main(self.RUN_ARGS + ["--telemetry-dir", str(run_dir)]) == 0
+        assert main(["monitor", str(run_dir), "--validate"]) == 0
+        assert "all events valid" in capsys.readouterr().out
+        with open(run_dir / "events.jsonl", "a") as handle:
+            handle.write('{"type": "martian"}\n')
+        assert main(["monitor", str(run_dir), "--validate"]) == 1
+        assert "unknown event type" in capsys.readouterr().err
+
+    def test_monitor_follow_prints_json_lines(self, capsys, tmp_path):
+        import json
+
+        run_dir = tmp_path / "telem"
+        assert main(self.RUN_ARGS + ["--telemetry-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+        assert main(["monitor", str(run_dir), "--follow", "--max-polls", "1"]) == 0
+        lines = [
+            line for line in capsys.readouterr().out.splitlines() if line.strip()
+        ]
+        assert lines
+        assert json.loads(lines[0])["type"] == "run_start"

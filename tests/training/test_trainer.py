@@ -127,6 +127,104 @@ class TestTrainer:
         assert history.train_seconds > 0.0
 
 
+class TestTrainerTelemetry:
+    def test_telemetry_dir_emits_valid_events(self, datasets, tmp_path):
+        from repro.telemetry import read_events, validate_event
+
+        train, val = datasets
+        nn.init.seed(0)
+        trainer = Trainer(
+            DLinear(24, 6, 2),
+            TrainerConfig(
+                epochs=2, batch_size=16, lr=1e-2,
+                telemetry_dir=str(tmp_path / "run"),
+            ),
+        )
+        history = trainer.fit(train, val)
+        events = read_events(tmp_path / "run")
+        for event in events:
+            assert validate_event(event) == [], event
+        kinds = [event["type"] for event in events]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        epoch_events = [event for event in events if event["type"] == "epoch"]
+        assert len(epoch_events) == len(history.train_losses)
+        assert epoch_events[0]["train_loss"] == pytest.approx(
+            history.train_losses[0]
+        )
+        assert epoch_events[0]["val_loss"] == pytest.approx(
+            history.val_losses[0]
+        )
+        assert (tmp_path / "run" / "metrics.prom").exists()
+        prom = (tmp_path / "run" / "metrics.prom").read_text()
+        assert "train_steps_total" in prom
+        assert "span_seconds_bucket" in prom
+
+    def test_telemetry_records_checkpoints_and_recovery(self, datasets, tmp_path):
+        from repro.telemetry import read_events
+
+        train, val = datasets
+        nn.init.seed(0)
+        trainer = Trainer(
+            DLinear(24, 6, 2),
+            TrainerConfig(
+                epochs=4, batch_size=16, lr=0.9, patience=99,
+                checkpoint_dir=str(tmp_path / "ckpts"),
+                loss_explosion_factor=1.05, max_recovery_retries=2,
+                telemetry_dir=str(tmp_path / "run"),
+            ),
+        )
+        trainer.fit(train, val)
+        kinds = {event["type"] for event in read_events(tmp_path / "run")}
+        assert "checkpoint_save" in kinds
+
+    def test_verbose_stdout_unchanged_with_telemetry(self, datasets, tmp_path, capsys):
+        """verbose=True output must be byte-for-byte the legacy lines,
+        with or without a telemetry directory attached."""
+        train, val = datasets
+
+        def run(telemetry_dir):
+            nn.init.seed(0)
+            trainer = Trainer(
+                DLinear(24, 6, 2),
+                TrainerConfig(
+                    epochs=2, batch_size=16, lr=1e-2, verbose=True,
+                    telemetry_dir=telemetry_dir,
+                ),
+            )
+            trainer.fit(train, val)
+            return capsys.readouterr().out
+
+        legacy = run(None)
+        instrumented = run(str(tmp_path / "run"))
+        assert legacy == instrumented
+        assert legacy.startswith("epoch 0: train ")
+
+    def test_injected_run_logger_is_not_closed(self, datasets):
+        from repro.telemetry import RunLogger
+
+        class ListSink:
+            def __init__(self):
+                self.events = []
+                self.closed = False
+
+            def write(self, event):
+                self.events.append(event)
+
+            def close(self):
+                self.closed = True
+
+        train, _ = datasets
+        sink = ListSink()
+        trainer = Trainer(
+            DLinear(24, 6, 2),
+            TrainerConfig(epochs=1, batch_size=16),
+            run_logger=RunLogger([sink]),
+        )
+        trainer.fit(train)
+        assert any(event["type"] == "epoch" for event in sink.events)
+        assert not sink.closed  # caller owns injected loggers
+
+
 class TestExperimentRunner:
     @pytest.fixture(scope="class")
     def data(self):
