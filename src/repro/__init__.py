@@ -17,6 +17,9 @@ the paper depends on:
 - ``repro.robustness`` — fault tolerance for both phases: crash-safe
   checkpoints, serving health/guardrails, degraded-mode fallbacks, and a
   deterministic fault-injection harness.
+- ``repro.serving`` — concurrent multi-entity serving: per-entity ring
+  sessions, micro-batched forwards, a versioned forecast cache, and a
+  bounded-queue server with admission control.
 
 See ``DESIGN.md`` for the full system inventory and per-experiment index.
 """
@@ -34,4 +37,5 @@ __all__ = [
     "profiling",
     "analysis",
     "robustness",
+    "serving",
 ]

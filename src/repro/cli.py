@@ -10,6 +10,7 @@ Subcommands::
     python -m repro compare  --dataset PEMS08 --models FOCUS,DLinear,PatchTST
     python -m repro bench    [--quick] [--out BENCH_hotpath.json]
     python -m repro monitor  RUN_DIR [--follow] [--validate]
+    python -m repro serve    --replay [--entities 4] [--steps 128]
 
 All commands operate on the synthetic dataset surrogates (seeded, see
 DESIGN.md) and print plain-text tables.  Model-building commands accept
@@ -298,8 +299,26 @@ def _cmd_bench(args) -> int:
         f"{telemetry['on_ms']:.1f}ms on ({telemetry['overhead_on_pct']:+.2f}%); "
         f"jsonl {telemetry['events_per_s']:.0f} events/s"
     )
+    serving = report["serving"]
+    batch32 = serving["batched"]["batch_32"]
+    print(
+        f"  serving        : sequential "
+        f"{serving['sequential']['throughput_per_s']:.0f} fc/s vs batch-32 "
+        f"{batch32['throughput_per_s']:.0f} fc/s "
+        f"({serving['speedup_batch32']:.2f}x, p99 {batch32['p99_ms']:.2f}ms); "
+        f"cache-on {serving['cache_on']['throughput_per_s']:.0f} fc/s"
+    )
+    failed = False
     if not clustering["equivalent_1e8"]:
         print("WARNING: vectorized and loop prototypes diverge beyond 1e-8")
+        failed = True
+    if not serving["meets_1_5x"]:
+        print(
+            "WARNING: batched serving throughput at batch 32 is "
+            f"{serving['speedup_batch32']:.2f}x sequential (gate: >=1.5x)"
+        )
+        failed = True
+    if failed:
         return 1
     if args.out:
         try:
@@ -308,6 +327,91 @@ def _cmd_bench(args) -> int:
             print(f"error: could not write {args.out}: {error}", file=sys.stderr)
             return 1
         print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """``repro serve --replay``: drive the serving stack on synthetic streams."""
+    from repro.core import ClusteringConfig
+    from repro.core.model import FOCUSConfig, FOCUSForecaster
+    from repro.data import load_dataset
+    from repro.serving import ForecastServer, ServingConfig, replay_streams
+    from repro.telemetry import (
+        NULL_LOGGER,
+        MetricsRegistry,
+        RunLogger,
+        write_prometheus,
+    )
+
+    if not args.replay:
+        print("error: only --replay mode is implemented", file=sys.stderr)
+        return 2
+
+    logger, registry = NULL_LOGGER, None
+    if args.telemetry_dir:
+        logger = RunLogger.to_dir(args.telemetry_dir)
+        registry = MetricsRegistry()
+    logger.event("run_start", kind="serve", dataset=args.dataset)
+
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    config = FOCUSConfig(
+        lookback=args.lookback,
+        horizon=args.horizon,
+        num_entities=data.num_entities,
+        segment_length=12,
+        num_prototypes=8,
+        d_model=32,
+        num_readout=2,
+    )
+    model = FOCUSForecaster.from_training_data(
+        config, data.train, ClusteringConfig(num_prototypes=8, segment_length=12,
+                                             seed=args.seed)
+    )
+    server = ForecastServer(
+        model,
+        ServingConfig(
+            max_batch=args.max_batch,
+            queue_capacity=args.queue_capacity,
+            nan_policy=args.nan_policy,
+        ),
+        telemetry=registry,
+        run_logger=logger,
+    )
+    rng = np.random.default_rng(args.seed)
+    steps = args.lookback + args.steps
+    streams = {}
+    for index in range(args.entities):
+        offset = rng.integers(0, max(len(data.test) - steps, 1))
+        streams[f"entity-{index}"] = data.test[offset : offset + steps]
+
+    if args.threaded:
+        with server:
+            responses = replay_streams(
+                server, streams, forecast_every=args.forecast_every
+            )
+    else:
+        responses = replay_streams(server, streams, forecast_every=args.forecast_every)
+
+    by_source: dict[str, int] = {}
+    for response in responses:
+        by_source[response.source] = by_source.get(response.source, 0) + 1
+    stats = server.stats()
+    print(
+        f"replayed {args.entities} entities x {steps} steps "
+        f"({'threaded' if args.threaded else 'synchronous'} mode)"
+    )
+    print(f"  forecasts : {len(responses)} "
+          + " ".join(f"{source}={count}" for source, count in sorted(by_source.items())))
+    print(f"  health    : {stats['health']}")
+    if server.cache is not None:
+        print(f"  cache     : {stats['cache_hit_rate']:.1%} hit rate")
+    print(f"  rejected  : {stats['rejected_requests']} requests, "
+          f"{stats['rejected_observations']} observations")
+    logger.event("run_end", kind="serve")
+    if args.telemetry_dir:
+        write_prometheus(registry, args.telemetry_dir)
+        logger.close()
+        print(f"telemetry written to {args.telemetry_dir}")
     return 0
 
 
@@ -406,6 +510,30 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default="BENCH_hotpath.json",
                        help="output JSON path ('' to skip writing)")
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve", help="run the concurrent serving stack over replayed streams"
+    )
+    _add_common_model_args(serve)
+    serve.add_argument(
+        "--replay", action="store_true",
+        help="replay synthetic test streams through the server (required)",
+    )
+    serve.add_argument("--entities", type=int, default=4,
+                       help="number of serving entities (independent streams)")
+    serve.add_argument("--steps", type=int, default=128,
+                       help="post-warmup steps to replay per entity")
+    serve.add_argument("--forecast-every", type=int, default=8,
+                       help="request a forecast every N steps per entity")
+    serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument("--queue-capacity", type=int, default=256)
+    serve.add_argument("--nan-policy", default="reject",
+                       choices=["reject", "impute_last", "impute_prototype"])
+    serve.add_argument("--threaded", action="store_true",
+                       help="use the background batching worker instead of "
+                            "synchronous draining")
+    _add_telemetry_arg(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     monitor = sub.add_parser(
         "monitor", help="render or validate a telemetry run directory"

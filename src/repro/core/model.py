@@ -100,6 +100,10 @@ class FOCUSForecaster(Module):
         self.config = config
         self.mixer_kind = mixer
         self.fusion_kind = fusion
+        # Bumped on every prototype mutation (set_prototypes /
+        # update_prototype).  The serving ForecastCache keys entries on
+        # this so EMA adaptation invalidates stale cached forecasts.
+        self._prototype_version = 0
         if prototypes is None:
             # Placeholder prototypes; fit_prototypes() replaces them.
             prototypes = np.zeros(
@@ -170,17 +174,25 @@ class FOCUSForecaster(Module):
                 if hasattr(mixer, "invalidate_cache"):
                     mixer.invalidate_cache()
         self._has_prototypes = True
+        self._prototype_version += 1
+
+    @property
+    def prototype_version(self) -> int:
+        """Monotonic counter of prototype mutations (cache invalidation)."""
+        return self._prototype_version
 
     def prototype_values(self) -> np.ndarray | None:
-        """The live ``(k, p)`` prototype dictionary, or ``None`` when the
-        active mixer is prototype-free (``"attn"`` / ``"linear"``).
+        """A copy of the ``(k, p)`` prototype dictionary, or ``None`` when
+        the active mixer is prototype-free (``"attn"`` / ``"linear"``).
 
         Used by streaming guardrails for prototype-mean imputation.
+        Always a defensive copy — mutating the result must not corrupt
+        the live dictionary shared by both mixers.
         """
         prototypes = getattr(self.extractor.temporal_mixer, "prototypes", None)
         if prototypes is None:
             return None
-        return np.asarray(prototypes)
+        return np.array(prototypes, copy=True)
 
     def assignment_profile(self, window: np.ndarray) -> dict:
         """Nearest-prototype routing profile of a ``(L, N)`` window.
@@ -223,13 +235,17 @@ class FOCUSForecaster(Module):
         Used by streaming adaptation: updating a single row avoids
         rebuilding the full ``(k, p)`` dictionary per novel segment.
         """
-        value = np.asarray(value)
+        # Snapshot the value first: ``value`` may be a view into one
+        # mixer's live dictionary, and writing the first mixer's row
+        # must not change what the second mixer receives.
+        value = np.array(value, copy=True)
         for mixer in (self.extractor.temporal_mixer, self.extractor.entity_mixer):
             # Row assignment below casts to each mixer's prototype dtype.
             if hasattr(mixer, "prototypes"):
                 mixer.prototypes[index] = value
                 if hasattr(mixer, "invalidate_cache"):
                     mixer.invalidate_cache()
+        self._prototype_version += 1
 
     @classmethod
     def from_training_data(
@@ -274,6 +290,33 @@ class FOCUSForecaster(Module):
         if self.revin is not None:
             forecast = self.revin.denormalize(forecast)
         return forecast
+
+    def forecast_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Batched inference: ``(B, L, N)`` windows → ``(B, L_f, N)``.
+
+        The serving hot path (:class:`repro.serving.MicroBatcher`): one
+        gradient-free forward amortizes segment embedding and ProtoAttn
+        across ``B`` concurrent requests.  Every per-sample computation
+        in the network (RevIN statistics, prototype assignment, the
+        attention rows, the fusion readout) is independent across the
+        batch axis, so in float64 each row of the result is bit-identical
+        to a single-window forward of the same window — the invariant the
+        serving equivalence suite (``tests/serving``) pins down.
+
+        Returns a fresh float64 array that aliases no internal buffer.
+        """
+        windows = np.asarray(windows)
+        cfg = self.config
+        if windows.ndim != 3 or windows.shape[1:] != (cfg.lookback, cfg.num_entities):
+            raise ValueError(
+                f"expected (B, {cfg.lookback}, {cfg.num_entities}) windows, "
+                f"got {windows.shape}"
+            )
+        with ag.no_grad():
+            prediction = self(Tensor(windows)).data
+        # .astype always copies — serving hands forecasts to callers that
+        # may mutate them, and the engine may reuse forward buffers.
+        return prediction.astype(np.float64)
 
     def dependency_matrix(self) -> np.ndarray:
         """Temporal-branch dependency map from the last forward (Fig. 13)."""

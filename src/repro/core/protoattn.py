@@ -169,6 +169,26 @@ class ProtoAttn(Module):
         attention = ag.softmax(scores, axis=-1)
         self.last_attention_ = attention.data
         proto_context = ag.matmul(attention, values)  # (B, k, d)
+        if (
+            not ag.is_grad_enabled()
+            and counter is None
+            and self.assignment_mode == "hard"
+            and "assignment_weights" not in self.__dict__
+        ):
+            # Inference fast path (serving/batched forecasts): hard
+            # routing is a row gather, O(B·l·d) instead of the one-hot
+            # matmul's O(B·l·k·d).  Bit-identical for finite contexts —
+            # each output row is exactly its prototype's context row, as
+            # summing k-1 exact zeros changes nothing.  Training keeps
+            # the matmul (the graph must flow into proto_context),
+            # profiled runs keep it so FLOP accounting stays put, and an
+            # instance-level assignment_weights override (the knockout
+            # attribution monkeypatches it) keeps it so the patched
+            # matrix actually routes.
+            gathered = np.take_along_axis(
+                proto_context.data, self.last_assignment_[:, :, None], axis=1
+            )
+            return Tensor(gathered)
         return ag.matmul(Tensor(assignment), proto_context)  # (B, l, d)
 
     def dependency_matrix(self) -> np.ndarray:

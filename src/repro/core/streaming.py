@@ -64,6 +64,146 @@ from repro.robustness.health import (
 from repro.telemetry.drift import DriftConfig, DriftMonitor
 
 
+@dataclasses.dataclass(frozen=True)
+class IngestResult:
+    """Outcome of one guarded ring write."""
+
+    accepted: int = 0
+    imputed: int = 0
+    rejected: int = 0
+
+
+class ObservationRing:
+    """Versioned lookback ring buffer with NaN-policy ingestion guards.
+
+    The single-entity heart of both :class:`StreamingFOCUS` and the
+    multi-entity serving layer (:mod:`repro.serving`): fixed ``(L, N)``
+    storage, an O(N) per-row write, and a monotonically increasing
+    :attr:`version` that advances once per *accepted* row — the key the
+    serving :class:`~repro.serving.ForecastCache` uses to guarantee a
+    cached forecast can never be served against newer data.
+
+    Parameters
+    ----------
+    lookback / num_entities:
+        Window geometry ``(L, N)``.
+    dtype:
+        Storage dtype (the model's parameter dtype).
+    nan_policy:
+        One of :data:`repro.robustness.health.NAN_POLICIES`; applied to
+        every incoming row/block before it touches the storage.
+    fill_value:
+        Zero-arg callable providing the scalar fill for the
+        ``impute_prototype`` policy (typically the prototype-dictionary
+        mean); ignored by the other policies.
+    """
+
+    def __init__(
+        self,
+        lookback: int,
+        num_entities: int,
+        dtype=np.float64,
+        nan_policy: str = "reject",
+        fill_value=None,
+    ):
+        if lookback < 1 or num_entities < 1:
+            raise ValueError("lookback and num_entities must be positive")
+        if nan_policy not in NAN_POLICIES:
+            raise ValueError(
+                f"unknown nan_policy {nan_policy!r}; choose from {NAN_POLICIES}"
+            )
+        self.lookback = lookback
+        self.num_entities = num_entities
+        self.nan_policy = nan_policy
+        self._fill_value = fill_value
+        self.storage = np.zeros((lookback, num_entities), dtype=dtype)
+        self.head = 0
+        self.filled = 0
+        self.count = 0  # total accepted rows, ever
+
+    @property
+    def ready(self) -> bool:
+        """True once a full lookback window has been observed."""
+        return self.filled >= self.lookback
+
+    @property
+    def version(self) -> int:
+        """Monotonic content version: bumps once per accepted row."""
+        return self.count
+
+    def last_written_row(self) -> np.ndarray | None:
+        if self.filled == 0:
+            return None
+        # Copy: callers hold this across subsequent writes (and mutating
+        # a returned row must never corrupt the ring).
+        return self.storage[(self.head - 1) % self.lookback].copy()
+
+    def _guard(self, block: np.ndarray) -> tuple[np.ndarray, int, int]:
+        fill = 0.0
+        if self.nan_policy == "impute_prototype" and self._fill_value is not None:
+            fill = float(self._fill_value())
+        return apply_nan_policy(
+            block, self.nan_policy, last_row=self.last_written_row(), fill_value=fill
+        )
+
+    def observe(self, observation: np.ndarray) -> IngestResult:
+        """Guard and write one ``(N,)`` row; returns what happened."""
+        observation = np.asarray(observation, dtype=self.storage.dtype)
+        if observation.shape != (self.num_entities,):
+            raise ValueError(
+                f"expected ({self.num_entities},) observation, "
+                f"got {observation.shape}"
+            )
+        guarded, imputed, rejected = self._guard(observation[None])
+        if len(guarded) == 0:
+            return IngestResult(accepted=0, imputed=imputed, rejected=rejected)
+        self.storage[self.head] = guarded[0]
+        self.head = (self.head + 1) % self.lookback
+        self.filled = min(self.filled + 1, self.lookback)
+        self.count += 1
+        return IngestResult(accepted=1, imputed=imputed, rejected=rejected)
+
+    def observe_many(self, observations: np.ndarray) -> IngestResult:
+        """Guard and write a ``(T, N)`` block of rows."""
+        observations = np.asarray(observations, dtype=self.storage.dtype)
+        if observations.ndim != 2 or observations.shape[1] != self.num_entities:
+            raise ValueError(
+                f"expected (T, {self.num_entities}) block, "
+                f"got {observations.shape}"
+            )
+        observations, imputed, rejected = self._guard(observations)
+        total = len(observations)
+        if total == 0:
+            return IngestResult(accepted=0, imputed=imputed, rejected=rejected)
+        lookback = self.lookback
+        # Only the trailing ``lookback`` rows can survive in the ring.
+        keep = observations[-lookback:]
+        offset = self.head + (total - len(keep))
+        indices = (offset + np.arange(len(keep))) % lookback
+        self.storage[indices] = keep
+        self.head = (self.head + total) % lookback
+        self.filled = min(self.filled + total, lookback)
+        self.count += total
+        return IngestResult(accepted=total, imputed=imputed, rejected=rejected)
+
+    def window(self) -> np.ndarray:
+        """The lookback window in chronological order (oldest first).
+
+        Materialized on demand; slots not yet overwritten hold zeros.
+        Always a fresh copy — never the live ring storage — so callers
+        holding the result do not see it mutate on the next
+        :meth:`observe`.
+        """
+        if self.head == 0:
+            return self.storage.copy()
+        return np.concatenate([self.storage[self.head :], self.storage[: self.head]])
+
+    def recent(self, steps: int) -> np.ndarray:
+        """The last ``steps`` observations in chronological order."""
+        indices = (self.head - steps + np.arange(steps)) % self.lookback
+        return self.storage[indices]
+
+
 @dataclasses.dataclass
 class StreamingStats:
     """Counters exposed for monitoring a deployment."""
@@ -164,13 +304,18 @@ class StreamingFOCUS:
         self.fallback = fallback
         self.seasonal_period = seasonal_period
         config = model.config
-        # True ring buffer: ``_ring`` is fixed storage, ``_head`` the next
-        # write slot.  ``observe`` is an O(N) row write — the O(L·N) copy
-        # of the previous np.roll-based implementation is gone.
+        # True ring buffer (see ObservationRing): fixed storage, O(N) row
+        # writes, ingestion guards, and a content version.  StreamingFOCUS
+        # is now a thin single-entity wrapper over the same primitive the
+        # multi-entity serving layer (repro.serving) builds on.
         model_dtype = next(iter(model.parameters())).data.dtype
-        self._ring = np.zeros((config.lookback, config.num_entities), dtype=model_dtype)
-        self._head = 0
-        self._filled = 0
+        self.ring = ObservationRing(
+            config.lookback,
+            config.num_entities,
+            dtype=model_dtype,
+            nan_policy=nan_policy,
+            fill_value=self._imputation_fill,
+        )
         self._distance_history: list[float] = []
         self._telemetry = telemetry
         self._run_logger = run_logger
@@ -263,31 +408,35 @@ class StreamingFOCUS:
     @property
     def ready(self) -> bool:
         """True once a full lookback window has been observed."""
-        return self._filled >= self.model.config.lookback
+        return self.ring.ready
 
     @property
     def health(self) -> HealthState:
         """Current serving-health state of the stream."""
         return self._health.state
 
+    # Backwards-compatible views of the ring internals (tests and
+    # analysis code reach for these).
+    @property
+    def _ring(self) -> np.ndarray:
+        return self.ring.storage
+
+    @property
+    def _head(self) -> int:
+        return self.ring.head
+
+    @property
+    def _filled(self) -> int:
+        return self.ring.filled
+
     @property
     def _buffer(self) -> np.ndarray:
-        """The lookback window in chronological order (oldest first).
-
-        Materialized on demand; slots not yet overwritten hold zeros, as
-        in the previous roll-based buffer.  Always a fresh copy — never
-        the live ring storage — so callers holding the result do not see
-        it mutate on the next :meth:`observe`.
-        """
-        if self._head == 0:
-            return self._ring.copy()
-        return np.concatenate([self._ring[self._head :], self._ring[: self._head]])
+        """The lookback window in chronological order (always a copy)."""
+        return self.ring.window()
 
     def _recent(self, steps: int) -> np.ndarray:
         """The last ``steps`` observations in chronological order."""
-        lookback = self.model.config.lookback
-        indices = (self._head - steps + np.arange(steps)) % lookback
-        return self._ring[indices]
+        return self.ring.recent(steps)
 
     # ------------------------------------------------------------------
     # Ingestion guardrails
@@ -300,28 +449,15 @@ class StreamingFOCUS:
             return 0.0
         return float(np.mean(prototypes))
 
-    def _last_written_row(self) -> np.ndarray | None:
-        if self._filled == 0:
-            return None
-        lookback = self.model.config.lookback
-        return self._ring[(self._head - 1) % lookback]
-
-    def _guard_block(self, block: np.ndarray) -> np.ndarray:
-        """Apply the NaN policy to a ``(T, N)`` block before insertion."""
-        clean, imputed, rejected = apply_nan_policy(
-            block,
-            self.nan_policy,
-            last_row=self._last_written_row(),
-            fill_value=self._imputation_fill() if self.nan_policy == "impute_prototype" else 0.0,
-        )
-        self.stats.imputed_values += imputed
-        self.stats.rejected_observations += rejected
-        if self._instruments is not None and (imputed or rejected):
-            if imputed:
-                self._instruments["imputed"].inc(imputed)
-            if rejected:
-                self._instruments["rejected"].inc(rejected)
-        return clean
+    def _note_ingest(self, result: IngestResult) -> None:
+        self.stats.observations += result.accepted
+        self.stats.imputed_values += result.imputed
+        self.stats.rejected_observations += result.rejected
+        if self._instruments is not None and (result.imputed or result.rejected):
+            if result.imputed:
+                self._instruments["imputed"].inc(result.imputed)
+            if result.rejected:
+                self._instruments["rejected"].inc(result.rejected)
 
     def observe(self, observation: np.ndarray) -> None:
         """Push one time step of ``(N,)`` values into the buffer.
@@ -330,52 +466,27 @@ class StreamingFOCUS:
         ``"reject"`` a bad observation is dropped entirely (the ring and
         the ``observations`` counter are untouched).
         """
-        observation = np.asarray(observation, dtype=self._ring.dtype)
-        if observation.shape != (self.model.config.num_entities,):
-            raise ValueError(
-                f"expected ({self.model.config.num_entities},) observation, "
-                f"got {observation.shape}"
-            )
-        guarded = self._guard_block(observation[None])
-        if len(guarded) == 0:
-            return
-        observation = guarded[0]
-        lookback = self.model.config.lookback
-        self._ring[self._head] = observation
-        self._head = (self._head + 1) % lookback
-        self._filled = min(self._filled + 1, lookback)
-        self.stats.observations += 1
+        result = self.ring.observe(observation)
+        self._note_ingest(result)
         p = self.model.config.segment_length
-        if self.adapt_prototypes and self._filled >= p and self.stats.observations % p == 0:
+        if (
+            result.accepted
+            and self.adapt_prototypes
+            and self.ring.filled >= p
+            and self.stats.observations % p == 0
+        ):
             self._maybe_adapt(self._recent(p))
 
     def observe_many(self, observations: np.ndarray) -> None:
         """Push a ``(T, N)`` block of observations."""
-        observations = np.asarray(observations, dtype=self._ring.dtype)
+        observations = np.asarray(observations, dtype=self.ring.storage.dtype)
         if self.adapt_prototypes:
             # Adaptation checks fire on per-segment boundaries; route
-            # through observe() (now cheap) to keep them exact.
+            # through observe() (cheap) to keep them exact.
             for row in observations:
                 self.observe(row)
             return
-        if observations.ndim != 2 or observations.shape[1] != self.model.config.num_entities:
-            raise ValueError(
-                f"expected (T, {self.model.config.num_entities}) block, "
-                f"got {observations.shape}"
-            )
-        observations = self._guard_block(observations)
-        total = len(observations)
-        if total == 0:
-            return
-        lookback = self.model.config.lookback
-        # Only the trailing ``lookback`` rows can survive in the ring.
-        keep = observations[-lookback:]
-        offset = self._head + (total - len(keep))
-        indices = (offset + np.arange(len(keep))) % lookback
-        self._ring[indices] = keep
-        self._head = (self._head + total) % lookback
-        self._filled = min(self._filled + total, lookback)
-        self.stats.observations += total
+        self._note_ingest(self.ring.observe_many(observations))
 
     # ------------------------------------------------------------------
     # Forecasting (with degraded-mode fallback)
@@ -406,8 +517,11 @@ class StreamingFOCUS:
         prediction = None
         try:
             with ag.no_grad():
-                prediction = np.asarray(
-                    self.model(Tensor(window[None])).data[0], dtype=np.float64
+                # .astype always copies: the returned array must never
+                # alias engine-owned buffers (the PR 2 _buffer aliasing
+                # bug's sibling — callers are free to mutate forecasts).
+                prediction = self.model(Tensor(window[None])).data[0].astype(
+                    np.float64
                 )
             if not np.isfinite(prediction).all():
                 failure = "non-finite model output"

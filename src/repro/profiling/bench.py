@@ -18,6 +18,11 @@ so every future change has a performance trajectory to compare against:
    telemetry guard with instrumentation *disabled* (the ≤2%-overhead
    gate the CI telemetry job asserts), and with metrics *enabled*; plus
    the JSONL run-log writer's events/second.
+6. **Serving** (schema 4) — micro-batched forecasting through the
+   serving stack vs the sequential per-entity streaming loop: p50/p99
+   latency and throughput at batch sizes 1/8/32 with the cache off,
+   the same batched path with the cache on (hit serving), and the
+   ``speedup_batch32`` ratio the CI bench-smoke job gates at >=1.5x.
 
 ``run_benchmarks`` returns a JSON-serializable report (see
 ``docs/reproducing_the_paper.md`` for the schema); the ``repro bench``
@@ -37,7 +42,7 @@ import numpy as np
 from repro import autograd as ag
 from repro.autograd import Tensor
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 # Pinned dimensions: large enough that the hot paths dominate, small
 # enough that the full benchmark stays under ~1 minute on CPU.
@@ -63,6 +68,13 @@ _STEP_QUICK = {"lookback": 96, "horizon": 12, "entities": 8, "segment_length": 1
 
 _TELEM_FULL = {"warmup": 2, "rounds": 15, "events": 5000}
 _TELEM_QUICK = {"warmup": 1, "rounds": 7, "events": 1000}
+
+_SERVE_FULL = {"lookback": 96, "entities": 8, "segment_length": 12,
+               "num_prototypes": 8, "d_model": 32, "horizon": 12,
+               "fleet": 32, "batch_sizes": (1, 8, 32), "warmup": 2, "rounds": 12}
+_SERVE_QUICK = {"lookback": 48, "entities": 4, "segment_length": 12,
+                "num_prototypes": 4, "d_model": 16, "horizon": 12,
+                "fleet": 32, "batch_sizes": (1, 8, 32), "warmup": 1, "rounds": 5}
 
 
 def _motif_segments(n_per_motif: int, p: int, k: int, seed: int = 7) -> np.ndarray:
@@ -380,6 +392,131 @@ def bench_telemetry(quick: bool = False) -> dict:
     }
 
 
+def bench_serving(quick: bool = False) -> dict:
+    """Batched serving vs the sequential streaming loop on one fleet.
+
+    A shared pinned FOCUS model serves a fleet of warmed entities.  The
+    *sequential* baseline answers each entity with its own
+    ``StreamingFOCUS.forecast()`` call (one forward per entity, exactly
+    the pre-serving deployment story); the *batched* path answers the
+    same requests through ``MicroBatcher`` in groups of 1/8/32 windows
+    per forward, cache disabled so every request pays the model.  A
+    final pass measures cache-on hit serving.  ``speedup_batch32``
+    (batched throughput at 32 / sequential throughput) is the CI gate.
+    """
+    from repro.core.model import FOCUSConfig, FOCUSForecaster
+    from repro.core.streaming import StreamingFOCUS
+    from repro.serving import ForecastCache, ForecastServer, MicroBatcher, ServingConfig
+
+    dims = _SERVE_QUICK if quick else _SERVE_FULL
+    rng = np.random.default_rng(17)
+    config = FOCUSConfig(
+        lookback=dims["lookback"],
+        horizon=dims["horizon"],
+        num_entities=dims["entities"],
+        segment_length=dims["segment_length"],
+        num_prototypes=dims["num_prototypes"],
+        d_model=dims["d_model"],
+        num_readout=2,
+    )
+    model = FOCUSForecaster(
+        config,
+        prototypes=rng.standard_normal(
+            (dims["num_prototypes"], dims["segment_length"])
+        ),
+    )
+    model.eval()
+    fleet = dims["fleet"]
+
+    # Sequential baseline: one StreamingFOCUS per entity, warmed.
+    streams = []
+    server = ForecastServer(model, ServingConfig(max_batch=max(dims["batch_sizes"]),
+                                                 use_cache=False))
+    for index in range(fleet):
+        history = rng.standard_normal((dims["lookback"], dims["entities"]))
+        stream = StreamingFOCUS(model)
+        stream.observe_many(history)
+        streams.append(stream)
+        server.observe_many(f"bench-{index}", history)
+    entity_ids = [f"bench-{index}" for index in range(fleet)]
+
+    def percentiles(samples: list[float]) -> tuple[float, float]:
+        return (
+            float(np.percentile(samples, 50)) * 1e3,
+            float(np.percentile(samples, 99)) * 1e3,
+        )
+
+    for _ in range(dims["warmup"]):
+        for stream in streams:
+            stream.forecast()
+    sequential_times = []
+    for _ in range(dims["rounds"]):
+        started = time.perf_counter()
+        for stream in streams:
+            stream.forecast()
+        sequential_times.append(time.perf_counter() - started)
+    seq_p50, seq_p99 = percentiles(sequential_times)
+    seq_throughput = fleet / float(np.median(sequential_times))
+
+    batched = {}
+    for batch_size in dims["batch_sizes"]:
+        batcher = MicroBatcher(model)
+        groups = [
+            entity_ids[start : start + batch_size]
+            for start in range(0, fleet, batch_size)
+        ]
+        sessions = [
+            [server.store.session(entity_id) for entity_id in group]
+            for group in groups
+        ]
+        for _ in range(dims["warmup"]):
+            for group in sessions:
+                batcher.forecast_sessions(group)
+        samples = []
+        for _ in range(dims["rounds"]):
+            started = time.perf_counter()
+            for group in sessions:
+                batcher.forecast_sessions(group)
+            samples.append(time.perf_counter() - started)
+        p50, p99 = percentiles(samples)
+        batched[f"batch_{batch_size}"] = {
+            "p50_ms": round(p50, 3),
+            "p99_ms": round(p99, 3),
+            "throughput_per_s": round(fleet / float(np.median(samples)), 1),
+        }
+
+    # Cache-on: every request after the first pass is a version-exact hit.
+    cache = ForecastCache(capacity=4 * fleet)
+    cached_batcher = MicroBatcher(model, cache=cache)
+    all_sessions = [server.store.session(entity_id) for entity_id in entity_ids]
+    cached_batcher.forecast_sessions(all_sessions)  # fill
+    samples = []
+    for _ in range(dims["rounds"]):
+        started = time.perf_counter()
+        cached_batcher.forecast_sessions(all_sessions)
+        samples.append(time.perf_counter() - started)
+    hit_p50, hit_p99 = percentiles(samples)
+    speedup = batched["batch_32"]["throughput_per_s"] / round(seq_throughput, 1)
+
+    return {
+        "config": dict(dims),
+        "sequential": {
+            "p50_ms": round(seq_p50, 3),
+            "p99_ms": round(seq_p99, 3),
+            "throughput_per_s": round(seq_throughput, 1),
+        },
+        "batched": batched,
+        "cache_on": {
+            "p50_ms": round(hit_p50, 3),
+            "p99_ms": round(hit_p99, 3),
+            "throughput_per_s": round(fleet / float(np.median(samples)), 1),
+            "hit_rate": round(cache.hit_rate, 4),
+        },
+        "speedup_batch32": round(speedup, 2),
+        "meets_1_5x": bool(speedup >= 1.5),
+    }
+
+
 def run_benchmarks(quick: bool = False) -> dict:
     """Run all hot-path benchmarks; returns the report dict."""
     return {
@@ -391,6 +528,7 @@ def run_benchmarks(quick: bool = False) -> dict:
         "streaming": bench_streaming(quick),
         "training_step": bench_training_step(quick),
         "telemetry": bench_telemetry(quick),
+        "serving": bench_serving(quick),
     }
 
 

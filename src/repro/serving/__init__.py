@@ -1,0 +1,34 @@
+"""Concurrent multi-entity serving in front of a trained FOCUS model.
+
+Layered bottom-up:
+
+- :class:`EntitySession` / :class:`EntitySessionStore` — per-entity ring
+  buffers, NaN-policy guards, locks, and optional replayable journals;
+- :class:`ForecastCache` — versioned LRU keyed on
+  ``(entity, ring version, horizon)`` and invalidated by prototype EMA
+  updates;
+- :class:`MicroBatcher` — coalesces requests into one batched forward
+  (bit-identical per sample to sequential streaming in float64);
+- :class:`ForecastServer` / :class:`ServingConfig` — bounded queue,
+  background batching worker, admission control, health + telemetry.
+
+See ``docs/api.md`` (architecture) and ``examples/serving_replay.py``.
+"""
+
+from repro.serving.batcher import BATCH_SIZE_BUCKETS, ForecastResponse, MicroBatcher
+from repro.serving.cache import ForecastCache
+from repro.serving.server import ForecastServer, ServingConfig, replay_streams
+from repro.serving.session import EntitySession, EntitySessionStore, SessionStats
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "EntitySession",
+    "EntitySessionStore",
+    "ForecastCache",
+    "ForecastResponse",
+    "ForecastServer",
+    "MicroBatcher",
+    "ServingConfig",
+    "SessionStats",
+    "replay_streams",
+]

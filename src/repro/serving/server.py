@@ -1,0 +1,441 @@
+"""ForecastServer: the concurrent serving facade.
+
+Ties the serving subsystem together in front of one trained
+:class:`~repro.core.model.FOCUSForecaster`:
+
+- an :class:`~repro.serving.EntitySessionStore` holding per-entity ring
+  buffers and NaN-policy state;
+- a bounded request queue drained by a background worker that coalesces
+  requests within a time/size budget and hands them to the
+  :class:`~repro.serving.MicroBatcher` (one batched forward per batch);
+- **admission control**: when the queue is full, new requests are not
+  queued — they are answered *immediately* from the model-free fallback
+  (``source="rejected:<kind>"``), so a burst degrades answer quality
+  instead of latency or memory;
+- a versioned :class:`~repro.serving.ForecastCache` (invalidated by
+  prototype EMA updates via the model's ``prototype_version``);
+- a serving-level :class:`~repro.robustness.health.HealthMonitor`, a
+  :class:`~repro.telemetry.MetricsRegistry` (queue-depth gauge,
+  batch-size/latency histograms, per-source forecast counters, cache
+  hit/miss counters), and :class:`~repro.telemetry.RunLogger` events
+  (``serve_batch`` / ``serve_reject``).
+
+Two execution modes share every code path below the queue:
+
+- **threaded** (``with server: ...`` or ``server.start()``): clients
+  block in :meth:`forecast` while the worker batches across them;
+- **synchronous** (no worker): :meth:`forecast` / :meth:`forecast_many`
+  drain the queue inline — deterministic, which is what the equivalence
+  and golden test suites run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from repro.core.model import FOCUSForecaster
+from repro.robustness.health import NAN_POLICIES, HealthMonitor, HealthState
+from repro.serving.batcher import ForecastResponse, MicroBatcher
+from repro.serving.cache import ForecastCache
+from repro.serving.session import EntitySessionStore
+
+
+@dataclasses.dataclass
+class ServingConfig:
+    """Knobs of the serving layer (see ``docs/api.md``)."""
+
+    max_batch: int = 32
+    max_delay_ms: float = 2.0
+    queue_capacity: int = 256
+    cache_capacity: int = 512
+    use_cache: bool = True
+    nan_policy: str = "reject"
+    fallback: str = "persistence"
+    seasonal_period: int | None = None
+    fail_threshold: int = 5
+    recover_after: int = 3
+    record_events: bool = False
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+        if self.max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be non-negative")
+        if self.nan_policy not in NAN_POLICIES:
+            raise ValueError(
+                f"unknown nan_policy {self.nan_policy!r}; choose from {NAN_POLICIES}"
+            )
+
+
+class _QueuedRequest:
+    """One in-flight forecast request (a minimal future)."""
+
+    __slots__ = ("session", "done", "response")
+
+    def __init__(self, session):
+        self.session = session
+        self.done = threading.Event()
+        self.response: ForecastResponse | None = None
+
+    def resolve(self, response: ForecastResponse) -> None:
+        self.response = response
+        self.done.set()
+
+
+class ForecastServer:
+    """Thread-safe multi-entity serving front-end over one FOCUS model."""
+
+    _HEALTH_LEVELS = {
+        HealthState.HEALTHY.value: 0,
+        HealthState.DEGRADED.value: 1,
+        HealthState.FAILED.value: 2,
+    }
+
+    def __init__(
+        self,
+        model: FOCUSForecaster,
+        config: ServingConfig | None = None,
+        telemetry=None,
+        run_logger=None,
+    ):
+        self.model = model
+        self.model.eval()
+        self.config = config or ServingConfig()
+        self._telemetry = telemetry
+        self._run_logger = run_logger
+        self.store = EntitySessionStore.for_model(
+            model,
+            nan_policy=self.config.nan_policy,
+            record_events=self.config.record_events,
+        )
+        self.cache = (
+            ForecastCache(self.config.cache_capacity) if self.config.use_cache else None
+        )
+        self.health = HealthMonitor(
+            fail_threshold=self.config.fail_threshold,
+            recover_after=self.config.recover_after,
+            on_transition=self._on_health_transition
+            if (telemetry is not None or run_logger is not None)
+            else None,
+        )
+        self.batcher = MicroBatcher(
+            model,
+            cache=self.cache,
+            fallback=self.config.fallback,
+            seasonal_period=self.config.seasonal_period,
+            telemetry=telemetry,
+            run_logger=run_logger,
+            health=self.health,
+        )
+        self._cond = threading.Condition()
+        self._queue: deque[_QueuedRequest] = deque()
+        self._running = False
+        self._thread: threading.Thread | None = None
+        self.rejected_requests = 0
+        self._instruments = None
+        if telemetry is not None:
+            self._instruments = {
+                "queue_depth": telemetry.gauge(
+                    "serve_queue_depth", help="pending forecast requests"
+                ),
+                "rejected": telemetry.counter(
+                    "serve_forecasts_total", labels={"source": "rejected"},
+                    help="requests shed by admission control",
+                ),
+                "health": telemetry.gauge(
+                    "serve_health_state", help="0=HEALTHY 1=DEGRADED 2=FAILED"
+                ),
+            }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ForecastServer":
+        """Start the background batching worker (idempotent)."""
+        with self._cond:
+            if self._running:
+                return self
+            self._running = True
+        self._thread = threading.Thread(
+            target=self._worker, name="focus-serving-worker", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the worker, draining every queued request first."""
+        with self._cond:
+            was_running = self._running
+            self._running = False
+            self._cond.notify_all()
+        if was_running and self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.drain()
+
+    def __enter__(self) -> "ForecastServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def observe(self, entity_id: str, observation: np.ndarray):
+        """Push one ``(N,)`` observation into ``entity_id``'s session."""
+        return self.store.observe(entity_id, observation)
+
+    def observe_many(self, entity_id: str, block: np.ndarray):
+        """Push a ``(T, N)`` block into ``entity_id``'s session."""
+        return self.store.observe_many(entity_id, block)
+
+    # ------------------------------------------------------------------
+    # Forecasting
+    # ------------------------------------------------------------------
+    def submit(self, entity_id: str) -> _QueuedRequest:
+        """Enqueue a forecast request; never blocks on the model.
+
+        Applies admission control: when the queue is at capacity the
+        request is answered immediately (already resolved on return)
+        from the fallback with ``source="rejected:<kind>"``.
+        """
+        session = self.store.session(entity_id)
+        if not session.ready:
+            raise RuntimeError(
+                f"entity {entity_id!r} needs {self.model.config.lookback} "
+                f"observations, have {session.ring.filled}"
+            )
+        request = _QueuedRequest(session)
+        with self._cond:
+            if len(self._queue) >= self.config.queue_capacity:
+                self._reject(request)
+                return request
+            self._queue.append(request)
+            if self._instruments is not None:
+                self._instruments["queue_depth"].set(len(self._queue))
+            self._cond.notify_all()
+        return request
+
+    def forecast(self, entity_id: str, timeout: float | None = 30.0) -> ForecastResponse:
+        """Request one forecast and wait for the answer.
+
+        With the worker running this blocks while the micro-batcher
+        coalesces concurrent requests; without it the queue is drained
+        inline (synchronous mode).
+        """
+        request = self.submit(entity_id)
+        if not self._running and not request.done.is_set():
+            self.drain()
+        if not request.done.wait(timeout):
+            raise TimeoutError(
+                f"forecast for {entity_id!r} not answered within {timeout}s"
+            )
+        return request.response
+
+    def forecast_many(self, entity_ids: list[str]) -> list[ForecastResponse]:
+        """Answer one forecast per entity as a single synchronous batch.
+
+        Bypasses the queue: used by the replay CLI, benchmarks, and the
+        deterministic test suites.  Batches of more than ``max_batch``
+        windows are split.
+        """
+        sessions = [self.store.session(entity_id) for entity_id in entity_ids]
+        responses: list[ForecastResponse] = []
+        for start in range(0, len(sessions), self.config.max_batch):
+            responses.extend(
+                self.batcher.forecast_sessions(
+                    sessions[start : start + self.config.max_batch]
+                )
+            )
+        return responses
+
+    def drain(self) -> int:
+        """Synchronously serve everything queued; returns requests served."""
+        served = 0
+        while True:
+            batch = self._take_batch(wait=False)
+            if not batch:
+                return served
+            self._serve_batch(batch)
+            served += len(batch)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _reject(self, request: _QueuedRequest) -> None:
+        """Admission control: answer from the fallback, never queue."""
+        session = request.session
+        with session.lock:
+            window = session.ring.window()
+            version = session.ring.version
+            session.stats.forecasts += 1
+            session.stats.rejected_requests += 1
+        forecast = self.batcher._fallback_forecast(window)
+        self.rejected_requests += 1
+        if self._instruments is not None:
+            self._instruments["rejected"].inc()
+        if self._run_logger is not None:
+            self._run_logger.event(
+                "serve_reject",
+                entity=session.entity_id,
+                queue_depth=len(self._queue),
+            )
+        request.resolve(
+            ForecastResponse(
+                session.entity_id,
+                forecast,
+                f"rejected:{self.config.fallback}",
+                version,
+            )
+        )
+
+    def _take_batch(self, wait: bool = True) -> list[_QueuedRequest]:
+        """Pop up to ``max_batch`` requests, coalescing within the delay
+        budget; empty list when the queue is idle (or shut down)."""
+        max_batch = self.config.max_batch
+        delay = self.config.max_delay_ms / 1e3
+        with self._cond:
+            if wait:
+                while not self._queue and self._running:
+                    self._cond.wait(0.1)
+            if not self._queue:
+                return []
+            batch = [self._queue.popleft()]
+            deadline = time.perf_counter() + delay
+            while len(batch) < max_batch:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0 or not wait or not self._running:
+                    break
+                self._cond.wait(remaining)
+            if self._instruments is not None:
+                self._instruments["queue_depth"].set(len(self._queue))
+            return batch
+
+    def _serve_batch(self, batch: list[_QueuedRequest]) -> None:
+        try:
+            responses = self.batcher.forecast_sessions(
+                [request.session for request in batch]
+            )
+        except Exception:  # pragma: no cover — defensive: never strand waiters
+            for request in batch:
+                if not request.done.is_set():
+                    self._reject(request)
+            return
+        for request, response in zip(batch, responses):
+            request.resolve(response)
+
+    def _worker(self) -> None:
+        while True:
+            batch = self._take_batch(wait=True)
+            if not batch:
+                with self._cond:
+                    if not self._running and not self._queue:
+                        return
+                continue
+            self._serve_batch(batch)
+
+    def _on_health_transition(self, src: str, dst: str, reason: str, tick: int) -> None:
+        if self._telemetry is not None:
+            self._telemetry.counter(
+                "serve_health_transitions_total", labels={"to": dst},
+                help="serving-health state changes",
+            ).inc()
+            self._instruments["health"].set(self._HEALTH_LEVELS[dst])
+        if self._run_logger is not None:
+            self._run_logger.event(
+                "health_transition",
+                **{"from": src, "to": dst, "reason": reason, "tick": tick},
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Aggregate serving counters across every session."""
+        totals = {
+            "entities": 0,
+            "observations": 0,
+            "forecasts": 0,
+            "model_forecasts": 0,
+            "cache_hits": 0,
+            "fallback_forecasts": 0,
+            "rejected_requests": self.rejected_requests,
+            "imputed_values": 0,
+            "rejected_observations": 0,
+        }
+        for entity_id in self.store.entities():
+            session = self.store.session(entity_id)
+            with session.lock:
+                stats = session.stats
+                totals["entities"] += 1
+                totals["observations"] += stats.observations
+                totals["forecasts"] += stats.forecasts
+                totals["model_forecasts"] += stats.model_forecasts
+                totals["cache_hits"] += stats.cache_hits
+                totals["fallback_forecasts"] += stats.fallback_forecasts
+                totals["imputed_values"] += stats.imputed_values
+                totals["rejected_observations"] += stats.rejected_observations
+        totals["health"] = self.health.state.value
+        if self.cache is not None:
+            totals["cache_hit_rate"] = round(self.cache.hit_rate, 4)
+        return totals
+
+
+def replay_streams(
+    server: ForecastServer,
+    streams: dict[str, np.ndarray],
+    forecast_every: int = 8,
+    warmup: int | None = None,
+) -> list[ForecastResponse]:
+    """Replay per-entity ``(T, N)`` streams through a server.
+
+    Rows are interleaved across entities in time order (the multi-tenant
+    traffic shape); once an entity's ring is full, a forecast request is
+    issued every ``forecast_every`` of its steps.  ``warmup`` overrides
+    the number of rows ingested before the first forecast (defaults to
+    the model lookback).  Uses the threaded path when the server is
+    running, the synchronous path otherwise.  Returns every response in
+    issue order.
+    """
+    if forecast_every < 1:
+        raise ValueError("forecast_every must be at least 1")
+    lookback = server.model.config.lookback
+    warmup = lookback if warmup is None else warmup
+    length = min(len(stream) for stream in streams.values())
+    responses: list[ForecastResponse] = []
+    for step in range(length):
+        due: list[str] = []
+        for entity_id, stream in streams.items():
+            server.observe(entity_id, stream[step])
+            if step + 1 >= warmup and (step + 1) % forecast_every == 0:
+                due.append(entity_id)
+        if not due:
+            continue
+        if server.running:
+            requests = [server.submit(entity_id) for entity_id in due]
+            for request in requests:
+                request.done.wait(30.0)
+                responses.append(request.response)
+        else:
+            responses.extend(server.forecast_many(due))
+    return responses

@@ -1,0 +1,265 @@
+"""Per-entity serving sessions and the thread-safe session store.
+
+A *serving entity* is one independent stream of ``(N,)`` observations —
+one tenant, device, or region — forecast by a single shared
+:class:`~repro.core.model.FOCUSForecaster`.  The paper's offline
+clustering makes this sharing natural: the prototype dictionary is
+"relatively universal" (Sec. I), so one trained model serves an entire
+fleet of entities, each of which only needs its own cheap lookback
+state.
+
+- :class:`EntitySession` owns exactly that state: one
+  :class:`~repro.core.streaming.ObservationRing` (lookback window +
+  NaN-policy guards + content version), a lock serializing all access,
+  per-entity :class:`SessionStats`, and an optional *event journal* —
+  the raw observations in the order the lock admitted them, which the
+  concurrency test suite replays single-threaded to prove no update was
+  lost.
+- :class:`EntitySessionStore` is the thread-safe registry mapping
+  entity ids to sessions, created lazily on first touch.
+
+Locking discipline: the store lock only guards session creation/lookup;
+all per-entity mutation happens under the session's own lock, so
+entities never contend with each other.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+import numpy as np
+
+from repro.core.model import FOCUSForecaster
+from repro.core.streaming import IngestResult, ObservationRing
+from repro.robustness.health import NAN_POLICIES
+
+
+@dataclasses.dataclass
+class SessionStats:
+    """Per-entity serving counters."""
+
+    observations: int = 0
+    imputed_values: int = 0
+    rejected_observations: int = 0
+    forecasts: int = 0
+    model_forecasts: int = 0
+    fallback_forecasts: int = 0
+    cache_hits: int = 0
+    rejected_requests: int = 0
+
+
+class EntitySession:
+    """One entity's serving state: ring buffer, stats, lock, journal.
+
+    All mutation and snapshotting must happen under :attr:`lock`; the
+    store and the batcher follow this discipline, and external callers
+    should go through :class:`EntitySessionStore` /
+    :class:`~repro.serving.ForecastServer` rather than touch sessions
+    directly.
+    """
+
+    def __init__(
+        self,
+        entity_id: str,
+        lookback: int,
+        num_entities: int,
+        dtype=np.float64,
+        nan_policy: str = "reject",
+        fill_value=None,
+        record_events: bool = False,
+    ):
+        self.entity_id = entity_id
+        self.lock = threading.Lock()
+        self.ring = ObservationRing(
+            lookback,
+            num_entities,
+            dtype=dtype,
+            nan_policy=nan_policy,
+            fill_value=fill_value,
+        )
+        self.stats = SessionStats()
+        # Raw pre-guard events in applied order (when recording): the
+        # concurrency suite replays these single-threaded and compares
+        # final ring state to prove the locking lost nothing.
+        self.journal: list[tuple[str, np.ndarray]] | None = (
+            [] if record_events else None
+        )
+
+    def _note(self, result: IngestResult) -> IngestResult:
+        self.stats.observations += result.accepted
+        self.stats.imputed_values += result.imputed
+        self.stats.rejected_observations += result.rejected
+        return result
+
+    def observe(self, observation: np.ndarray) -> IngestResult:
+        """Guard and ingest one ``(N,)`` row (thread-safe)."""
+        with self.lock:
+            if self.journal is not None:
+                self.journal.append(
+                    ("observe", np.array(observation, dtype=np.float64, copy=True))
+                )
+            return self._note(self.ring.observe(observation))
+
+    def observe_many(self, block: np.ndarray) -> IngestResult:
+        """Guard and ingest a ``(T, N)`` block (thread-safe)."""
+        with self.lock:
+            if self.journal is not None:
+                self.journal.append(
+                    ("observe_many", np.array(block, dtype=np.float64, copy=True))
+                )
+            return self._note(self.ring.observe_many(block))
+
+    def snapshot(self) -> tuple[np.ndarray, int]:
+        """Atomically capture ``(window copy, ring version)``.
+
+        The pair is consistent: the version is read under the same lock
+        that guards ring writes, so a forecast computed from the window
+        is exactly the forecast for that version — the invariant the
+        serving cache's ``(entity, version, horizon)`` key relies on.
+        """
+        with self.lock:
+            return self.ring.window(), self.ring.version
+
+    @property
+    def ready(self) -> bool:
+        with self.lock:
+            return self.ring.ready
+
+    @property
+    def version(self) -> int:
+        with self.lock:
+            return self.ring.version
+
+
+class EntitySessionStore:
+    """Thread-safe registry of per-entity sessions, created on demand."""
+
+    def __init__(
+        self,
+        lookback: int,
+        num_entities: int,
+        dtype=np.float64,
+        nan_policy: str = "reject",
+        fill_value=None,
+        record_events: bool = False,
+    ):
+        if nan_policy not in NAN_POLICIES:
+            raise ValueError(
+                f"unknown nan_policy {nan_policy!r}; choose from {NAN_POLICIES}"
+            )
+        self.lookback = lookback
+        self.num_entities = num_entities
+        self.dtype = dtype
+        self.nan_policy = nan_policy
+        self.fill_value = fill_value
+        self.record_events = record_events
+        self._lock = threading.Lock()
+        self._sessions: dict[str, EntitySession] = {}
+
+    @classmethod
+    def for_model(
+        cls,
+        model: FOCUSForecaster,
+        nan_policy: str = "reject",
+        record_events: bool = False,
+    ) -> "EntitySessionStore":
+        """Build a store matching a model's geometry, dtype, and the
+        prototype-mean imputation fill (same guard context as
+        :class:`~repro.core.streaming.StreamingFOCUS`)."""
+        dtype = next(iter(model.parameters())).data.dtype
+
+        def fill() -> float:
+            prototypes = model.prototype_values()
+            if prototypes is None or prototypes.size == 0:
+                return 0.0
+            return float(np.mean(prototypes))
+
+        return cls(
+            model.config.lookback,
+            model.config.num_entities,
+            dtype=dtype,
+            nan_policy=nan_policy,
+            fill_value=fill,
+            record_events=record_events,
+        )
+
+    def session(self, entity_id: str, nan_policy: str | None = None) -> EntitySession:
+        """Get-or-create the session for ``entity_id``.
+
+        ``nan_policy`` overrides the store default at creation time only
+        (heterogeneous fleets mix policies); on later lookups it must
+        agree with the existing session.
+        """
+        with self._lock:
+            existing = self._sessions.get(entity_id)
+            if existing is not None:
+                if nan_policy is not None and existing.ring.nan_policy != nan_policy:
+                    raise ValueError(
+                        f"entity {entity_id!r} already uses nan_policy "
+                        f"{existing.ring.nan_policy!r}, requested {nan_policy!r}"
+                    )
+                return existing
+            session = EntitySession(
+                entity_id,
+                self.lookback,
+                self.num_entities,
+                dtype=self.dtype,
+                nan_policy=nan_policy or self.nan_policy,
+                fill_value=self.fill_value,
+                record_events=self.record_events,
+            )
+            self._sessions[entity_id] = session
+            return session
+
+    def observe(self, entity_id: str, observation: np.ndarray) -> IngestResult:
+        return self.session(entity_id).observe(observation)
+
+    def observe_many(self, entity_id: str, block: np.ndarray) -> IngestResult:
+        return self.session(entity_id).observe_many(block)
+
+    def entities(self) -> list[str]:
+        """Known entity ids in creation order."""
+        with self._lock:
+            return list(self._sessions)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def __contains__(self, entity_id: str) -> bool:
+        with self._lock:
+            return entity_id in self._sessions
+
+    def replay_journals(self) -> "EntitySessionStore":
+        """Rebuild a fresh store by replaying every session's journal
+        single-threaded, in the recorded (lock-serialized) order.
+
+        Requires ``record_events=True``.  The replayed store must end in
+        exactly the state of the live one — per-entity ring contents,
+        head, fill, and version — which is the concurrency suite's
+        no-lost-updates oracle.  Replay assumes the guard context (the
+        prototype-mean fill) did not change since recording.
+        """
+        replayed = EntitySessionStore(
+            self.lookback,
+            self.num_entities,
+            dtype=self.dtype,
+            nan_policy=self.nan_policy,
+            fill_value=self.fill_value,
+            record_events=False,
+        )
+        with self._lock:
+            sessions = list(self._sessions.items())
+        for entity_id, session in sessions:
+            if session.journal is None:
+                raise RuntimeError(
+                    "replay_journals() requires record_events=True at creation"
+                )
+            twin = replayed.session(entity_id, nan_policy=session.ring.nan_policy)
+            for kind, payload in session.journal:
+                if kind == "observe":
+                    twin.observe(payload)
+                else:
+                    twin.observe_many(payload)
+        return replayed

@@ -45,6 +45,8 @@ EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
     "chaos_injection": ("call", "kind"),
     "cluster_fit": ("num_prototypes", "segment_length", "n_segments", "iterations", "inertia"),
     "stream_stats": ("observations", "forecasts"),
+    "serve_batch": ("size", "latency_ms"),
+    "serve_reject": ("entity",),
 }
 
 

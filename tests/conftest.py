@@ -4,6 +4,22 @@ import numpy as np
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the serving golden fixtures instead of comparing "
+        "against them (see docs/testing.md)",
+    )
+
+
+@pytest.fixture
+def regen_goldens(request) -> bool:
+    """True when the run should rewrite golden fixtures."""
+    return request.config.getoption("--regen-goldens")
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A fresh deterministic RNG per test."""

@@ -1,0 +1,92 @@
+"""Golden regression fixtures for the serving pipeline.
+
+``goldens/serving_replay.npz`` pins the end-to-end behavior of the
+serving stack — seeded model build, multi-entity replay through the
+synchronous server (micro-batching + cache), and the resulting
+forecasts/versions — in float64.  Any change to model numerics, ring
+semantics, batching, or caching that shifts an output fails here.
+
+Regenerate deliberately (after verifying the change is intended) with::
+
+    PYTHONPATH=src python -m pytest tests/serving/test_golden.py --regen-goldens
+
+and commit the updated ``.npz`` alongside the change.  See
+``docs/testing.md`` for the full workflow.
+
+Tolerances: comparisons use ``atol=rtol=1e-9`` rather than exact bits so
+the fixtures survive last-ulp BLAS differences across machines while
+still catching any real numeric drift.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serving import ForecastServer, ServingConfig, replay_streams
+
+from .conftest import LOOKBACK, NUM_ENTITIES, build_model
+
+pytestmark = pytest.mark.serve
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+GOLDEN_PATH = GOLDEN_DIR / "serving_replay.npz"
+N_GOLDEN_ENTITIES = 4
+GOLDEN_STEPS = LOOKBACK + 16
+
+
+def run_scenario():
+    """The pinned scenario: seeded replay through a caching server."""
+    model = build_model("float64")
+    server = ForecastServer(
+        model, ServingConfig(max_batch=8, use_cache=True, cache_capacity=64)
+    )
+    rng = np.random.default_rng(2024)
+    streams = {
+        f"golden-{i}": rng.normal(size=(GOLDEN_STEPS, NUM_ENTITIES))
+        for i in range(N_GOLDEN_ENTITIES)
+    }
+    responses = replay_streams(server, streams, forecast_every=8)
+    order = [r.entity for r in responses]
+    return {
+        "forecasts": np.stack([r.forecast for r in responses]),
+        "versions": np.array([r.ring_version for r in responses], dtype=np.int64),
+        "entities": np.array(order),
+        "prototypes": model.prototype_values(),
+        "streams": np.stack([streams[f"golden-{i}"] for i in range(N_GOLDEN_ENTITIES)]),
+    }
+
+
+def test_serving_replay_matches_golden(regen_goldens):
+    actual = run_scenario()
+    if regen_goldens:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        np.savez_compressed(GOLDEN_PATH, **actual)
+        pytest.skip(f"regenerated {GOLDEN_PATH.name}")
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden fixture {GOLDEN_PATH}; generate it with "
+        "--regen-goldens (see docs/testing.md)"
+    )
+    golden = np.load(GOLDEN_PATH, allow_pickle=False)
+    assert list(golden["entities"]) == list(actual["entities"])
+    np.testing.assert_array_equal(golden["versions"], actual["versions"])
+    np.testing.assert_allclose(
+        golden["streams"], actual["streams"], atol=0, rtol=0,
+        err_msg="seeded input streams changed — RNG regression",
+    )
+    np.testing.assert_allclose(
+        golden["prototypes"], actual["prototypes"], atol=1e-9, rtol=1e-9,
+        err_msg="offline clustering drifted",
+    )
+    np.testing.assert_allclose(
+        golden["forecasts"], actual["forecasts"], atol=1e-9, rtol=1e-9,
+        err_msg="serving forecasts drifted from the golden fixture",
+    )
+
+
+def test_scenario_is_deterministic():
+    """Two in-process runs of the scenario agree exactly."""
+    first = run_scenario()
+    second = run_scenario()
+    for key in ("forecasts", "versions", "prototypes"):
+        np.testing.assert_array_equal(first[key], second[key])

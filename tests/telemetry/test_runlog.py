@@ -41,6 +41,8 @@ SAMPLE_PAYLOADS = {
         "iterations": 9, "inertia": 1.2,
     },
     "stream_stats": {"observations": 10, "forecasts": 2},
+    "serve_batch": {"size": 8, "latency_ms": 4.2, "cached": 1, "failed": False},
+    "serve_reject": {"entity": "tenant-a", "queue_depth": 256},
 }
 
 

@@ -22,6 +22,7 @@ class TestParser:
             "compare",
             "bench",
             "monitor",
+            "serve",
         }
 
     def test_requires_subcommand(self):
@@ -163,13 +164,46 @@ class TestCommands:
         assert "telemetry" in capsys.readouterr().out
         with open(path) as handle:
             report = json.load(handle)
-        assert report["schema"] == 3
+        assert report["schema"] == 4
         telemetry = report["telemetry"]
         assert telemetry["events_per_s"] > 0
         assert telemetry["off_ms"] > 0 and telemetry["on_ms"] > 0
         # The disabled-telemetry overhead gate CI enforces (<= 2%); allow a
         # little noise headroom here since quick mode uses few rounds.
         assert telemetry["overhead_off_pct"] < 5.0
+
+
+class TestServeCommand:
+    SERVE_ARGS = [
+        "serve", "--replay", "--dataset", "ETTh1",
+        "--lookback", "48", "--horizon", "12",
+        "--entities", "2", "--steps", "16",
+    ]
+
+    def test_serve_requires_replay(self, capsys):
+        assert main(["serve", "--dataset", "ETTh1"]) == 2
+        assert "--replay" in capsys.readouterr().err
+
+    def test_serve_replay_smoke(self, capsys):
+        assert main(self.SERVE_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "replayed 2 entities" in out
+        assert "health" in out and "HEALTHY" in out
+
+    def test_serve_threaded_writes_telemetry(self, capsys, tmp_path):
+        from repro.telemetry import read_events, validate_event
+
+        run_dir = tmp_path / "telem"
+        args = self.SERVE_ARGS + ["--threaded", "--telemetry-dir", str(run_dir)]
+        assert main(args) == 0
+        assert "threaded" in capsys.readouterr().out
+        events = read_events(run_dir)
+        for event in events:
+            assert validate_event(event) == [], event
+        kinds = [event["type"] for event in events]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert "serve_batch" in kinds
+        assert (run_dir / "metrics.prom").exists()
 
 
 class TestTelemetryCommands:
