@@ -12,7 +12,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.profiling.bench import (
+    FLEET_SCALING_GATE,
     bench_clustering,
+    bench_fleet,
     bench_protoattn,
     bench_serving,
     bench_streaming,
@@ -104,12 +106,32 @@ def test_batched_serving_beats_sequential(benchmark):
     ), result
 
 
+def test_fleet_replay_scales_or_records(benchmark):
+    """Sharded replay must answer identically-counted traffic at every
+    shard count; the >=2.5x 4-shard scaling gate is asserted only where
+    the host has the CPUs to make it physically possible."""
+    result = benchmark.pedantic(
+        bench_fleet, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    print()
+    line = "  ".join(
+        f"{shards}x {entry['throughput_per_s']:.0f} fc/s"
+        for shards, entry in result["shards"].items()
+    )
+    print(f"  fleet: {line} (scaling {result['scaling_4x']:.2f}x, "
+          f"{result['cpu_count']} CPUs)")
+    assert result["consistent_response_counts"], result
+    assert all(entry["responses"] > 0 for entry in result["shards"].values())
+    if result["gate_active"]:
+        assert result["scaling_4x"] >= FLEET_SCALING_GATE, result
+
+
 def test_report_is_json_serializable():
     import json
 
     report = run_benchmarks(quick=True)
     encoded = json.loads(json.dumps(report))
-    assert encoded["schema"] == 4
+    assert encoded["schema"] == 5
     assert set(encoded) == {
         "schema",
         "mode",
@@ -120,6 +142,9 @@ def test_report_is_json_serializable():
         "training_step",
         "telemetry",
         "serving",
+        "fleet",
     }
     assert np.isfinite(encoded["clustering_fit"]["max_abs_diff"])
     assert encoded["serving"]["speedup_batch32"] > 0
+    assert encoded["fleet"]["consistent_response_counts"] is True
+    assert encoded["fleet"]["gate"] == FLEET_SCALING_GATE

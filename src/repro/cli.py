@@ -10,7 +10,7 @@ Subcommands::
     python -m repro compare  --dataset PEMS08 --models FOCUS,DLinear,PatchTST
     python -m repro bench    [--quick] [--out BENCH_hotpath.json]
     python -m repro monitor  RUN_DIR [--follow] [--validate]
-    python -m repro serve    --replay [--entities 4] [--steps 128]
+    python -m repro serve    --replay [--entities 4] [--steps 128] [--shards N]
 
 All commands operate on the synthetic dataset surrogates (seeded, see
 DESIGN.md) and print plain-text tables.  Model-building commands accept
@@ -308,6 +308,19 @@ def _cmd_bench(args) -> int:
         f"({serving['speedup_batch32']:.2f}x, p99 {batch32['p99_ms']:.2f}ms); "
         f"cache-on {serving['cache_on']['throughput_per_s']:.0f} fc/s"
     )
+    fleet = report["fleet"]
+    shard_line = "  ".join(
+        f"{shards}x {entry['throughput_per_s']:.0f} fc/s "
+        f"(p99 {entry['p99_ms']:.2f}ms)"
+        for shards, entry in fleet["shards"].items()
+    )
+    print(f"  fleet          : {shard_line}")
+    print(
+        f"                   scaling 4-shard/1-shard {fleet['scaling_4x']:.2f}x "
+        f"(gate >={fleet['gate']}x "
+        f"{'active' if fleet['gate_active'] else 'inactive'}, "
+        f"{fleet['cpu_count']} CPUs)"
+    )
     failed = False
     if not clustering["equivalent_1e8"]:
         print("WARNING: vectorized and loop prototypes diverge beyond 1e-8")
@@ -316,6 +329,16 @@ def _cmd_bench(args) -> int:
         print(
             "WARNING: batched serving throughput at batch 32 is "
             f"{serving['speedup_batch32']:.2f}x sequential (gate: >=1.5x)"
+        )
+        failed = True
+    if not fleet["consistent_response_counts"]:
+        print("WARNING: fleet replay response counts differ across shard counts")
+        failed = True
+    if fleet["gate_active"] and not fleet["meets_scaling_gate"]:
+        print(
+            f"WARNING: 4-shard fleet throughput is {fleet['scaling_4x']:.2f}x "
+            f"single-shard (gate: >={fleet['gate']}x on this "
+            f"{fleet['cpu_count']}-CPU host)"
         )
         failed = True
     if failed:
@@ -367,16 +390,6 @@ def _cmd_serve(args) -> int:
         config, data.train, ClusteringConfig(num_prototypes=8, segment_length=12,
                                              seed=args.seed)
     )
-    server = ForecastServer(
-        model,
-        ServingConfig(
-            max_batch=args.max_batch,
-            queue_capacity=args.queue_capacity,
-            nan_policy=args.nan_policy,
-        ),
-        telemetry=registry,
-        run_logger=logger,
-    )
     rng = np.random.default_rng(args.seed)
     steps = args.lookback + args.steps
     streams = {}
@@ -384,27 +397,66 @@ def _cmd_serve(args) -> int:
         offset = rng.integers(0, max(len(data.test) - steps, 1))
         streams[f"entity-{index}"] = data.test[offset : offset + steps]
 
-    if args.threaded:
-        with server:
+    if args.shards > 0:
+        from repro.serving import FleetConfig, ShardRouter, replay_fleet
+
+        with ShardRouter(
+            model,
+            FleetConfig(
+                shards=args.shards,
+                max_batch=args.max_batch,
+                nan_policy=args.nan_policy,
+            ),
+            telemetry=registry,
+            run_logger=logger,
+        ) as router:
+            responses = replay_fleet(
+                router, streams, forecast_every=args.forecast_every
+            )
+            stats = router.stats()
+        mode = f"{args.shards}-shard fleet"
+    else:
+        server = ForecastServer(
+            model,
+            ServingConfig(
+                max_batch=args.max_batch,
+                queue_capacity=args.queue_capacity,
+                nan_policy=args.nan_policy,
+            ),
+            telemetry=registry,
+            run_logger=logger,
+        )
+        if args.threaded:
+            with server:
+                responses = replay_streams(
+                    server, streams, forecast_every=args.forecast_every
+                )
+        else:
             responses = replay_streams(
                 server, streams, forecast_every=args.forecast_every
             )
-    else:
-        responses = replay_streams(server, streams, forecast_every=args.forecast_every)
+        stats = server.stats()
+        mode = "threaded" if args.threaded else "synchronous"
 
     by_source: dict[str, int] = {}
     for response in responses:
         by_source[response.source] = by_source.get(response.source, 0) + 1
-    stats = server.stats()
-    print(
-        f"replayed {args.entities} entities x {steps} steps "
-        f"({'threaded' if args.threaded else 'synchronous'} mode)"
-    )
+    print(f"replayed {args.entities} entities x {steps} steps ({mode} mode)")
     print(f"  forecasts : {len(responses)} "
           + " ".join(f"{source}={count}" for source, count in sorted(by_source.items())))
-    print(f"  health    : {stats['health']}")
-    if server.cache is not None:
-        print(f"  cache     : {stats['cache_hit_rate']:.1%} hit rate")
+    if args.shards > 0:
+        print(f"  fleet     : {stats['alive_workers']} live workers, "
+              f"prototype epoch {stats['prototype_epoch']}")
+        shard_entities = {
+            shard: shard_stats["entities"]
+            for shard, shard_stats in sorted(stats["shards"].items())
+        }
+        print("  shards    : "
+              + " ".join(f"{shard}:{count}e" for shard, count in shard_entities.items()))
+    else:
+        print(f"  health    : {stats['health']}")
+        if stats.get("cache_hit_rate") is not None:
+            print(f"  cache     : {stats['cache_hit_rate']:.1%} hit rate")
     print(f"  rejected  : {stats['rejected_requests']} requests, "
           f"{stats['rejected_observations']} observations")
     logger.event("run_end", kind="serve")
@@ -532,6 +584,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--threaded", action="store_true",
                        help="use the background batching worker instead of "
                             "synchronous draining")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="serve through a sharded multi-process fleet of N "
+                            "workers (0 = single-process)")
     _add_telemetry_arg(serve)
     serve.set_defaults(func=_cmd_serve)
 

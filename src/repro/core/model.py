@@ -260,6 +260,54 @@ class FOCUSForecaster(Module):
         return model
 
     # ------------------------------------------------------------------
+    # Replication (prototype-bank / weight export for serving fleets)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A picklable snapshot that fully reconstructs this model.
+
+        The export half of the serving-fleet replication protocol
+        (:mod:`repro.serving.fleet`): the paper's offline clustering
+        makes the model a small read-only artifact at serving time, so
+        shipping ``(config, weights, prototypes)`` to a worker process
+        yields a bit-identical replica.  Prototypes ride along inside
+        the state dict (they are registered buffers).
+        """
+        dtype = next(iter(self.parameters())).data.dtype
+        return {
+            "config": dataclasses.asdict(self.config),
+            "mixer": self.mixer_kind,
+            "fusion": self.fusion_kind,
+            "dtype": np.dtype(dtype).name,
+            "state": self.state_dict(),
+            "prototype_version": self._prototype_version,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "FOCUSForecaster":
+        """Rebuild a bit-identical replica from :meth:`snapshot`.
+
+        The import half of fleet replication: reconstructs the module
+        tree under the snapshot's dtype, restores every parameter and
+        buffer (including the prototype dictionary), and resumes the
+        prototype version counter so replica caches fence consistently.
+        """
+        from repro.autograd.tensor import default_dtype
+
+        config = FOCUSConfig(**snapshot["config"])
+        with default_dtype(np.dtype(snapshot["dtype"])):
+            model = cls(config, mixer=snapshot["mixer"], fusion=snapshot["fusion"])
+        model.load_state_dict(snapshot["state"])
+        model._has_prototypes = True
+        model._prototype_version = snapshot["prototype_version"]
+        # The ProtoAttn C_Q cache was primed against placeholder
+        # prototypes during construction; drop it.
+        for mixer in (model.extractor.temporal_mixer, model.extractor.entity_mixer):
+            if hasattr(mixer, "invalidate_cache"):
+                mixer.invalidate_cache()
+        model.eval()
+        return model
+
+    # ------------------------------------------------------------------
     # Online phase
     # ------------------------------------------------------------------
     def forward(self, window: Tensor) -> Tensor:

@@ -23,6 +23,12 @@ so every future change has a performance trajectory to compare against:
    latency and throughput at batch sizes 1/8/32 with the cache off,
    the same batched path with the cache on (hit serving), and the
    ``speedup_batch32`` ratio the CI bench-smoke job gates at >=1.5x.
+7. **Fleet** (schema 5) — scatter-gather replay through the sharded
+   multi-process fleet at 1/2/4(/8) shards: per-request p50/p99 and
+   replay throughput per shard count, plus ``scaling_4x`` (4-shard
+   over 1-shard throughput).  The >=2.5x gate is CPU-aware: asserted
+   only where >=4 CPUs exist (``gate_active``), since shards cannot
+   scale past the physical cores (recorded, not gated, elsewhere).
 
 ``run_benchmarks`` returns a JSON-serializable report (see
 ``docs/reproducing_the_paper.md`` for the schema); the ``repro bench``
@@ -42,7 +48,7 @@ import numpy as np
 from repro import autograd as ag
 from repro.autograd import Tensor
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 # Pinned dimensions: large enough that the hot paths dominate, small
 # enough that the full benchmark stays under ~1 minute on CPU.
@@ -75,6 +81,22 @@ _SERVE_FULL = {"lookback": 96, "entities": 8, "segment_length": 12,
 _SERVE_QUICK = {"lookback": 48, "entities": 4, "segment_length": 12,
                 "num_prototypes": 4, "d_model": 16, "horizon": 12,
                 "fleet": 32, "batch_sizes": (1, 8, 32), "warmup": 1, "rounds": 5}
+
+#: Minimum 4-shard/1-shard throughput ratio asserted where the gate is
+#: active (>=4 CPUs; below that, shards cannot scale past the cores).
+FLEET_SCALING_GATE = 2.5
+
+#: ``max_batch`` is pinned across shard counts (= fleet / max shards) so
+#: every forward sees the same batch size and the scaling ratio measures
+#: process parallelism, not batch-amortization differences.
+_FLEET_FULL = {"lookback": 96, "entities": 8, "segment_length": 12,
+               "num_prototypes": 8, "d_model": 32, "horizon": 12,
+               "fleet": 32, "steps": 192, "forecast_every": 4,
+               "max_batch": 4, "rounds": 5, "shard_counts": (1, 2, 4, 8)}
+_FLEET_QUICK = {"lookback": 48, "entities": 4, "segment_length": 12,
+                "num_prototypes": 4, "d_model": 16, "horizon": 12,
+                "fleet": 16, "steps": 96, "forecast_every": 4,
+                "max_batch": 4, "rounds": 3, "shard_counts": (1, 2, 4)}
 
 
 def _motif_segments(n_per_motif: int, p: int, k: int, seed: int = 7) -> np.ndarray:
@@ -517,6 +539,94 @@ def bench_serving(quick: bool = False) -> dict:
     }
 
 
+def bench_fleet(quick: bool = False) -> dict:
+    """Sharded scatter-gather replay throughput vs shard count.
+
+    One pinned multi-entity workload is replayed through fleets of
+    1/2/4(/8) worker processes; per shard count the report records the
+    per-request p50/p99 latency (worker batch wall clock per request)
+    and whole-replay throughput.  The timed region is the scatter-gather
+    replay only — fleet spawn/teardown is deployment cost, not serving
+    cost.  ``scaling_4x`` is the 4-shard over 1-shard throughput ratio;
+    the >=2.5x gate only has physical meaning with >=4 CPUs, so
+    ``gate_active`` records whether this host can assert it.
+    """
+    from repro.core.model import FOCUSConfig, FOCUSForecaster
+    from repro.serving import FleetConfig, ShardRouter, replay_fleet
+
+    dims = _FLEET_QUICK if quick else _FLEET_FULL
+    rng = np.random.default_rng(23)
+    config = FOCUSConfig(
+        lookback=dims["lookback"],
+        horizon=dims["horizon"],
+        num_entities=dims["entities"],
+        segment_length=dims["segment_length"],
+        num_prototypes=dims["num_prototypes"],
+        d_model=dims["d_model"],
+        num_readout=2,
+    )
+    model = FOCUSForecaster(
+        config,
+        prototypes=rng.standard_normal(
+            (dims["num_prototypes"], dims["segment_length"])
+        ),
+    )
+    model.eval()
+    streams = {
+        f"bench-{index}": rng.standard_normal((dims["steps"], dims["entities"]))
+        for index in range(dims["fleet"])
+    }
+
+    per_shards = {}
+    for shards in dims["shard_counts"]:
+        fleet_config = FleetConfig(shards=shards, max_batch=dims["max_batch"])
+        walls, all_latencies, counts = [], [], []
+        with ShardRouter(model, fleet_config) as router:
+            # round 0 is the warmup (workers touch every code path once);
+            # later rounds keep ingesting fresh rows, so every forecast
+            # still pays the model (new ring version -> no cache hit).
+            for round_index in range(dims["rounds"] + 1):
+                started = time.perf_counter()
+                responses, latencies = replay_fleet(
+                    router,
+                    streams,
+                    forecast_every=dims["forecast_every"],
+                    with_latencies=True,
+                )
+                wall_s = time.perf_counter() - started
+                if round_index == 0:
+                    continue
+                walls.append(wall_s)
+                all_latencies.extend(latencies)
+                counts.append(len(responses))
+        per_shards[str(shards)] = {
+            "responses": counts[0],
+            "p50_ms": round(float(np.percentile(all_latencies, 50)), 3),
+            "p99_ms": round(float(np.percentile(all_latencies, 99)), 3),
+            "wall_s": round(float(np.median(walls)), 3),
+            "throughput_per_s": round(counts[0] / float(np.median(walls)), 1),
+        }
+
+    counts = {entry["responses"] for entry in per_shards.values()}
+    scaling = (
+        per_shards["4"]["throughput_per_s"] / per_shards["1"]["throughput_per_s"]
+        if "4" in per_shards
+        else 0.0
+    )
+    cpu_count = os.cpu_count() or 1
+    gate_active = cpu_count >= 4
+    return {
+        "config": dict(dims),
+        "cpu_count": cpu_count,
+        "shards": per_shards,
+        "consistent_response_counts": len(counts) == 1,
+        "scaling_4x": round(scaling, 2),
+        "gate": FLEET_SCALING_GATE,
+        "gate_active": gate_active,
+        "meets_scaling_gate": bool(scaling >= FLEET_SCALING_GATE),
+    }
+
+
 def run_benchmarks(quick: bool = False) -> dict:
     """Run all hot-path benchmarks; returns the report dict."""
     return {
@@ -529,6 +639,7 @@ def run_benchmarks(quick: bool = False) -> dict:
         "training_step": bench_training_step(quick),
         "telemetry": bench_telemetry(quick),
         "serving": bench_serving(quick),
+        "fleet": bench_fleet(quick),
     }
 
 

@@ -10,13 +10,26 @@ Layered bottom-up:
 - :class:`MicroBatcher` — coalesces requests into one batched forward
   (bit-identical per sample to sequential streaming in float64);
 - :class:`ForecastServer` / :class:`ServingConfig` — bounded queue,
-  background batching worker, admission control, health + telemetry.
+  background batching worker, admission control, health + telemetry;
+- :class:`ShardRouter` / :class:`FleetConfig` — multi-process scale-out:
+  consistent-hash routing, a shared-memory prototype bank with epoch
+  fencing, scatter-gather replay, and crashed-worker rehash.
 
 See ``docs/api.md`` (architecture) and ``examples/serving_replay.py``.
 """
 
 from repro.serving.batcher import BATCH_SIZE_BUCKETS, ForecastResponse, MicroBatcher
 from repro.serving.cache import ForecastCache
+from repro.serving.fleet import (
+    FleetConfig,
+    FleetError,
+    HashRing,
+    PrototypeBank,
+    ShardRouter,
+    StaleEpochError,
+    WorkerCrashedError,
+    replay_fleet,
+)
 from repro.serving.server import ForecastServer, ServingConfig, replay_streams
 from repro.serving.session import EntitySession, EntitySessionStore, SessionStats
 
@@ -24,11 +37,19 @@ __all__ = [
     "BATCH_SIZE_BUCKETS",
     "EntitySession",
     "EntitySessionStore",
+    "FleetConfig",
+    "FleetError",
     "ForecastCache",
     "ForecastResponse",
     "ForecastServer",
+    "HashRing",
     "MicroBatcher",
+    "PrototypeBank",
     "ServingConfig",
     "SessionStats",
+    "ShardRouter",
+    "StaleEpochError",
+    "WorkerCrashedError",
+    "replay_fleet",
     "replay_streams",
 ]

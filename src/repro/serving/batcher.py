@@ -203,13 +203,23 @@ class MicroBatcher:
                 failure = f"model forward raised {type(error).__name__}: {error}"
             latency = time.perf_counter() - started
             batch_size = len(pending)
+            # Re-read the prototype version *after* the forward: a
+            # concurrent update_prototype/set_prototypes between the
+            # version snapshot and the forward would otherwise let the
+            # cache stamp a forecast computed under one prototype bank
+            # with another bank's version — poisoning the cache with an
+            # entry that version-exact lookups would then serve.
+            cacheable = (
+                self.cache is not None
+                and self.model.prototype_version == proto_version
+            )
             for row, index in enumerate(pending):
                 session, window, version = requests[index]
                 ok = failure is None and bool(finite[row])
                 if ok:
                     forecast = predictions[row].copy()
                     source = "model"
-                    if self.cache is not None:
+                    if cacheable:
                         self.cache.put(
                             session.entity_id, version, horizon, proto_version, forecast
                         )

@@ -224,13 +224,18 @@ class ForecastServer:
             )
         request = _QueuedRequest(session)
         with self._cond:
-            if len(self._queue) >= self.config.queue_capacity:
-                self._reject(request)
+            depth = len(self._queue)
+            if depth < self.config.queue_capacity:
+                self._queue.append(request)
+                if self._instruments is not None:
+                    self._instruments["queue_depth"].set(len(self._queue))
+                self._cond.notify_all()
                 return request
-            self._queue.append(request)
-            if self._instruments is not None:
-                self._instruments["queue_depth"].set(len(self._queue))
-            self._cond.notify_all()
+        # Shed outside the condition lock: _reject acquires the session
+        # lock and runs the fallback forecast, neither of which may
+        # happen while holding _cond (lock-order inversion against the
+        # batcher, and submitters would serialize behind the fallback).
+        self._reject(request, queue_depth=depth)
         return request
 
     def forecast(self, entity_id: str, timeout: float | None = 30.0) -> ForecastResponse:
@@ -279,8 +284,15 @@ class ForecastServer:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _reject(self, request: _QueuedRequest) -> None:
-        """Admission control: answer from the fallback, never queue."""
+    def _reject(self, request: _QueuedRequest, queue_depth: int) -> None:
+        """Admission control: answer from the fallback, never queue.
+
+        ``queue_depth`` is a snapshot taken under ``self._cond`` by the
+        caller — this method must never touch ``self._queue`` itself, as
+        it runs without the condition lock (deliberately: it acquires
+        the session lock and computes a fallback forecast, both of which
+        are forbidden while holding ``_cond``).
+        """
         session = request.session
         with session.lock:
             window = session.ring.window()
@@ -295,7 +307,7 @@ class ForecastServer:
             self._run_logger.event(
                 "serve_reject",
                 entity=session.entity_id,
-                queue_depth=len(self._queue),
+                queue_depth=queue_depth,
             )
         request.resolve(
             ForecastResponse(
@@ -337,9 +349,10 @@ class ForecastServer:
                 [request.session for request in batch]
             )
         except Exception:  # pragma: no cover — defensive: never strand waiters
+            depth = self.queue_depth  # snapshot under _cond, once per batch
             for request in batch:
                 if not request.done.is_set():
-                    self._reject(request)
+                    self._reject(request, queue_depth=depth)
             return
         for request, response in zip(batch, responses):
             request.resolve(response)
@@ -406,6 +419,7 @@ def replay_streams(
     streams: dict[str, np.ndarray],
     forecast_every: int = 8,
     warmup: int | None = None,
+    timeout: float = 30.0,
 ) -> list[ForecastResponse]:
     """Replay per-entity ``(T, N)`` streams through a server.
 
@@ -413,12 +427,20 @@ def replay_streams(
     traffic shape); once an entity's ring is full, a forecast request is
     issued every ``forecast_every`` of its steps.  ``warmup`` overrides
     the number of rows ingested before the first forecast (defaults to
-    the model lookback).  Uses the threaded path when the server is
+    the model lookback); an entity whose ring is not yet full at a due
+    step (short warmup, or NaN-rejected rows) is skipped rather than
+    crashing the replay.  Uses the threaded path when the server is
     running, the synchronous path otherwise.  Returns every response in
-    issue order.
+    issue order.  An empty ``streams`` dict replays nothing.
+
+    Raises :class:`TimeoutError` if a threaded request is not answered
+    within ``timeout`` seconds (a stalled or wedged worker must surface
+    as an error, never as a silent ``None`` response).
     """
     if forecast_every < 1:
         raise ValueError("forecast_every must be at least 1")
+    if not streams:
+        return []
     lookback = server.model.config.lookback
     warmup = lookback if warmup is None else warmup
     length = min(len(stream) for stream in streams.values())
@@ -427,14 +449,22 @@ def replay_streams(
         due: list[str] = []
         for entity_id, stream in streams.items():
             server.observe(entity_id, stream[step])
-            if step + 1 >= warmup and (step + 1) % forecast_every == 0:
+            if (
+                step + 1 >= warmup
+                and (step + 1) % forecast_every == 0
+                and server.store.session(entity_id).ready
+            ):
                 due.append(entity_id)
         if not due:
             continue
         if server.running:
             requests = [server.submit(entity_id) for entity_id in due]
-            for request in requests:
-                request.done.wait(30.0)
+            for entity_id, request in zip(due, requests):
+                if not request.done.wait(timeout):
+                    raise TimeoutError(
+                        f"replay forecast for {entity_id!r} not answered "
+                        f"within {timeout}s"
+                    )
                 responses.append(request.response)
         else:
             responses.extend(server.forecast_many(due))

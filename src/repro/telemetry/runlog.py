@@ -47,6 +47,10 @@ EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
     "stream_stats": ("observations", "forecasts"),
     "serve_batch": ("size", "latency_ms"),
     "serve_reject": ("entity",),
+    "fleet_start": ("shards",),
+    "fleet_stop": ("shards",),
+    "fleet_swap": ("epoch",),
+    "fleet_worker_dead": ("shard",),
 }
 
 

@@ -1,0 +1,202 @@
+"""Cross-process chaos: the fleet under concurrent and hostile traffic.
+
+Extends the single-process concurrency hammer and its journal-replay
+oracle (``test_concurrency.py``) across the process boundary:
+
+- many client threads drive interleaved observe/forecast traffic for
+  many entities through one :class:`~repro.serving.ShardRouter` while a
+  prototype hot-swap lands mid-stream;
+- each worker's per-entity journals (lock-serialized applied order) are
+  fetched over RPC and replayed single-threaded into a fresh store —
+  the replayed ring state must match the live workers' exactly (**no
+  lost updates**, now across processes);
+- after the swap, every worker that serves fenced traffic must hold the
+  advertised epoch (**no stale-epoch serving**);
+- a SIGKILLed worker's entities rehash onto survivors and traffic keeps
+  flowing (**crashed-worker rehash**), and shutdown after all of the
+  above still reaps every surviving worker with exit code 0 (**clean
+  shutdown**).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    EntitySessionStore,
+    FleetConfig,
+    ShardRouter,
+    WorkerCrashedError,
+)
+from repro.telemetry.runlog import RunLogger, validate_event
+
+from .conftest import LOOKBACK, NUM_ENTITIES, build_model
+
+pytestmark = [pytest.mark.fleet, pytest.mark.chaos]
+
+N_CLIENTS = 4
+N_ENTITIES = 8
+STEPS_PER_CLIENT = 40
+
+
+class ListSink:
+    def __init__(self):
+        self.records = []
+
+    def write(self, record):
+        self.records.append(record)
+
+    def close(self):
+        pass
+
+
+def test_cross_process_hammer_journal_oracle():
+    """Hammer + journal oracle + mid-stream swap, across processes."""
+    model = build_model("float64")
+    entities = [f"hammer-{i}" for i in range(N_ENTITIES)]
+    with ShardRouter(model, FleetConfig(shards=2, record_events=True)) as router:
+        rng = np.random.default_rng(31)
+        for entity_id in entities:  # warm every ring so forecasts are legal
+            router.observe_many(entity_id, rng.normal(size=(LOOKBACK, NUM_ENTITIES)))
+
+        barrier = threading.Barrier(N_CLIENTS + 1)
+        errors: list[Exception] = []
+
+        def client(seed: int) -> None:
+            crng = np.random.default_rng(seed)
+            try:
+                barrier.wait()
+                for step in range(STEPS_PER_CLIENT):
+                    entity_id = entities[int(crng.integers(N_ENTITIES))]
+                    if step % 3 == 2:
+                        router.forecast(entity_id)
+                    else:
+                        router.observe(entity_id, crng.normal(size=NUM_ENTITIES))
+            except Exception as error:  # noqa: BLE001 — surfaced below
+                errors.append(error)
+
+        def swapper() -> None:
+            try:
+                barrier.wait()
+                router.set_prototypes(model.prototype_values() + 0.25)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=client, args=(100 + i,)) for i in range(N_CLIENTS)
+        ] + [threading.Thread(target=swapper)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+        # --- oracle 1: no lost updates (journal replay, cross-process)
+        live_state: dict[str, dict] = {}
+        journals: dict[str, list] = {}
+        for shard in router.alive_shards():
+            handle = router._workers[shard]
+            live_state.update(handle.call("ring_state", None, 30.0))
+            journals.update(handle.call("journal", None, 30.0))
+        assert set(live_state) == set(entities)
+        replayed = EntitySessionStore.for_model(model, nan_policy="reject")
+        for entity_id, journal in journals.items():
+            twin = replayed.session(entity_id)
+            for kind, payload in journal:
+                if kind == "observe":
+                    twin.observe(payload)
+                else:
+                    twin.observe_many(payload)
+        for entity_id in entities:
+            twin_ring = replayed.session(entity_id).ring
+            live = live_state[entity_id]
+            assert twin_ring.version == live["version"], entity_id
+            assert twin_ring.head == live["head"], entity_id
+            assert twin_ring.filled == live["filled"], entity_id
+            assert np.array_equal(twin_ring.storage, live["storage"]), entity_id
+
+        # --- oracle 2: no stale-epoch serving after the swap landed
+        assert router.prototype_epoch == 2
+        router.forecast_many(entities)  # fenced traffic reaches every shard
+        stats = router.stats()
+        for shard, shard_stats in stats["shards"].items():
+            assert shard_stats["bank_epoch"] == 2, f"shard {shard} served stale"
+
+        # --- oracle 3: counter conservation across the fleet
+        issued_forecasts = sum(
+            1
+            for seed in range(100, 100 + N_CLIENTS)
+            for step in range(STEPS_PER_CLIENT)
+            if step % 3 == 2
+        )
+        assert stats["forecasts"] == issued_forecasts + len(entities)
+        processes = [h.process for h in router._workers.values()]
+    for process in processes:  # clean shutdown after the hammer
+        assert not process.is_alive()
+        assert process.exitcode == 0
+
+
+def test_killed_worker_rehash_and_recovery():
+    """SIGKILL one shard mid-service: entities rehash, traffic flows."""
+    model = build_model("float64")
+    sink = ListSink()
+    with ShardRouter(
+        model, FleetConfig(shards=2), run_logger=RunLogger([sink])
+    ) as router:
+        rng = np.random.default_rng(32)
+        entities = [f"kill-{i}" for i in range(6)]
+        for entity_id in entities:
+            router.observe_many(entity_id, rng.normal(size=(LOOKBACK, NUM_ENTITIES)))
+        before = {entity_id: router.shard_for(entity_id) for entity_id in entities}
+        assert set(before.values()) == {0, 1}
+
+        victim = 1
+        router.kill_worker(victim)
+        deadline = threading.Event()
+        for _ in range(100):  # receiver thread notices EOF asynchronously
+            if victim not in router.alive_shards():
+                break
+            deadline.wait(0.05)
+        assert router.alive_shards() == {0}
+
+        # orphaned entities rehash to the survivor; survivors stay put
+        for entity_id, owner in before.items():
+            if owner == victim:
+                assert router.shard_for(entity_id) == 0
+            else:
+                assert router.shard_for(entity_id) == owner
+
+        # rehashed entities serve again after re-warming on the survivor
+        # (ring state died with the worker; the id must route, not 404)
+        orphan = next(e for e, owner in before.items() if owner == victim)
+        router.observe_many(orphan, rng.normal(size=(LOOKBACK, NUM_ENTITIES)))
+        assert router.forecast(orphan).source == "model"
+
+        # direct RPC to the corpse reports the crash, not a hang
+        with pytest.raises(WorkerCrashedError):
+            router._workers[victim].call("ping", None, 5.0)
+        assert router.ping()[victim] is False
+
+    events = [record["type"] for record in sink.records]
+    assert "fleet_worker_dead" in events
+    for record in sink.records:
+        assert validate_event(record) == []
+
+
+def test_scatter_gather_skips_dead_shards():
+    """forecast_many over a degraded fleet only touches live shards."""
+    model = build_model("float64")
+    with ShardRouter(model, FleetConfig(shards=2)) as router:
+        rng = np.random.default_rng(33)
+        entities = [f"degraded-{i}" for i in range(6)]
+        router.kill_worker(0)
+        for _ in range(100):
+            if 0 not in router.alive_shards():
+                break
+            threading.Event().wait(0.05)
+        for entity_id in entities:
+            router.observe_many(entity_id, rng.normal(size=(LOOKBACK, NUM_ENTITIES)))
+        responses = router.forecast_many(entities)
+        assert [response.entity for response in responses] == entities
+        assert all(response.source == "model" for response in responses)

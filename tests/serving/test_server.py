@@ -6,6 +6,9 @@ the queue boundary, on model failure, on prototype updates, and which
 telemetry instruments and run-log events fire.
 """
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -212,3 +215,124 @@ def test_session_policy_conflict(model, rng):
 def test_batch_size_buckets_are_sane():
     assert list(BATCH_SIZE_BUCKETS) == sorted(BATCH_SIZE_BUCKETS)
     assert BATCH_SIZE_BUCKETS[0] == 1.0
+
+
+# ----------------------------------------------------------------------
+# Concurrency-bug regressions (the serving-layer bugfix sweep)
+# ----------------------------------------------------------------------
+def test_replay_streams_raises_on_stalled_worker(model, rng):
+    """A wedged worker must surface as TimeoutError, never a silent None
+    response appended to the replay results."""
+    server = ForecastServer(model, ServingConfig(max_delay_ms=0.0))
+    release = threading.Event()
+    original = server.batcher.forecast_sessions
+
+    def wedged(sessions):
+        release.wait(30.0)
+        return original(sessions)
+
+    server.batcher.forecast_sessions = wedged
+    streams = {"x": rng.normal(size=(LOOKBACK, NUM_ENTITIES))}
+    try:
+        with server:
+            with pytest.raises(TimeoutError, match="'x'"):
+                replay_streams(server, streams, forecast_every=LOOKBACK, timeout=0.2)
+    finally:
+        release.set()
+        server.batcher.forecast_sessions = original
+        server.close()
+
+
+def test_replay_streams_empty_and_short_streams(model, rng):
+    """Edge shapes: empty dict (no min(()) crash), single-row streams,
+    and warmup=0 with rings that are not yet full."""
+    server = ForecastServer(model, ServingConfig())
+    assert replay_streams(server, {}) == []
+    single_row = {"x": rng.normal(size=(1, NUM_ENTITIES))}
+    assert replay_streams(server, single_row, forecast_every=1) == []
+    short = {"y": rng.normal(size=(LOOKBACK // 2, NUM_ENTITIES))}
+    # warmup=0 makes every step due, but an unfilled ring is skipped
+    # rather than crashing the replay with RuntimeError
+    assert replay_streams(server, short, forecast_every=1, warmup=0) == []
+
+
+def test_replay_streams_warmup_zero_with_full_ring(model, rng):
+    """warmup=0 forecasts from the first replayed step when the ring is
+    already full (e.g. continuing a previous replay)."""
+    server = ForecastServer(model, ServingConfig())
+    warm(server, ["x"], rng)
+    streams = {"x": rng.normal(size=(4, NUM_ENTITIES))}
+    responses = replay_streams(server, streams, forecast_every=1, warmup=0)
+    assert len(responses) == 4
+    assert all(r.source == "model" for r in responses)
+
+
+def test_reject_event_reports_snapshotted_queue_depth(model, rng):
+    """serve_reject must carry the depth observed under the condition
+    lock at shed time, not an unsynchronized read taken later."""
+    sink = ListSink()
+    server = ForecastServer(
+        model, ServingConfig(queue_capacity=2), run_logger=RunLogger([sink])
+    )
+    warm(server, ["a", "b", "c"], rng)
+    server.submit("a")
+    server.submit("b")
+    server.submit("c")  # shed at depth 2
+    rejects = [r for r in sink.records if r["type"] == "serve_reject"]
+    assert len(rejects) == 1
+    assert rejects[0]["queue_depth"] == 2
+    assert validate_event(rejects[0]) == []
+    server.drain()
+
+
+def test_shed_path_never_holds_condition_over_session_lock(model, rng):
+    """Admission control resolves shed requests outside the server's
+    condition lock: a shed blocked on one entity's session lock must not
+    stall submitters (or the worker) for other entities."""
+    server = ForecastServer(model, ServingConfig(queue_capacity=1))
+    warm(server, ["a", "b", "held"], rng)
+    server.submit("a")  # fills the queue
+    held = server.store.session("held")
+    shed_done = threading.Event()
+    with held.lock:  # an in-flight writer pins "held"
+        shed_thread = threading.Thread(
+            target=lambda: (server.submit("held"), shed_done.set())
+        )
+        shed_thread.start()
+        time.sleep(0.05)  # let the shed reach the session-lock acquire
+        assert not shed_done.is_set()
+        # the condition lock must be free while the shed waits: these
+        # would deadlock if _reject ran under _cond
+        probe = []
+        prober = threading.Thread(target=lambda: probe.append(server.queue_depth))
+        prober.start()
+        prober.join(timeout=2.0)
+        assert probe == [1]
+    shed_thread.join(timeout=5.0)
+    assert shed_done.is_set()
+    server.drain()
+
+
+def test_cache_not_poisoned_by_concurrent_prototype_update(model, rng):
+    """A prototype update racing the batched forward must not let the
+    cache stamp the fresh forecast with the pre-update version."""
+    server = ForecastServer(model, ServingConfig())
+    warm(server, ["a"], rng)
+    original = model.forecast_batch
+
+    def racing_forward(windows):
+        predictions = original(windows)
+        # lands between execute()'s version snapshot and cache.put
+        model.update_prototype(0, model.prototype_values()[0] * 1.001)
+        return predictions
+
+    model.forecast_batch = racing_forward
+    try:
+        response = server.forecast("a")
+    finally:
+        model.forecast_batch = original
+    assert response.source == "model"
+    assert len(server.cache) == 0  # put skipped on version mismatch
+    # and the next request recomputes under the new bank, then caches
+    assert server.forecast("a").source == "model"
+    assert server.forecast("a").source == "cache"

@@ -43,6 +43,10 @@ SAMPLE_PAYLOADS = {
     "stream_stats": {"observations": 10, "forecasts": 2},
     "serve_batch": {"size": 8, "latency_ms": 4.2, "cached": 1, "failed": False},
     "serve_reject": {"entity": "tenant-a", "queue_depth": 256},
+    "fleet_start": {"shards": 4},
+    "fleet_stop": {"shards": 4},
+    "fleet_swap": {"epoch": 2},
+    "fleet_worker_dead": {"shard": 1},
 }
 
 
