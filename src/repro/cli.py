@@ -11,6 +11,7 @@ Subcommands::
     python -m repro bench    [--quick] [--out BENCH_hotpath.json]
     python -m repro monitor  RUN_DIR [--follow] [--validate]
     python -m repro serve    --replay [--entities 4] [--steps 128] [--shards N]
+    python -m repro serve    --replay --maintenance [--shift-after 96]
 
 All commands operate on the synthetic dataset surrogates (seeded, see
 DESIGN.md) and print plain-text tables.  Model-building commands accept
@@ -396,9 +397,46 @@ def _cmd_serve(args) -> int:
     for index in range(args.entities):
         offset = rng.integers(0, max(len(data.test) - steps, 1))
         streams[f"entity-{index}"] = data.test[offset : offset + steps]
+    if args.shift_after > 0:
+        # Motif shift: superimpose a strong periodic pattern the offline
+        # prototypes never saw, starting at --shift-after.
+        for entity_id, stream in streams.items():
+            shifted = stream.copy()
+            tail = np.arange(len(shifted) - args.shift_after)
+            shifted[args.shift_after :] += (
+                5.0 * np.std(stream) * np.sin(tail / 2.0)[:, None]
+            )
+            streams[entity_id] = shifted
+
+    maintenance = None
+    if args.maintenance:
+        from repro.maintenance import MaintenanceConfig, MaintenanceWorker
+        from repro.telemetry import DriftConfig
+
+        maintenance = MaintenanceWorker(
+            model,
+            MaintenanceConfig(
+                history_rows=max(4 * args.lookback, 256),
+                # Sized for a short demo replay: profile densely so the
+                # TV window has enough samples to smooth sampling noise,
+                # yet the alarm still fires within the replayed stream.
+                drift_every=4,
+                drift=DriftConfig(
+                    window=16, baseline_forecasts=12, threshold=0.25,
+                    alarm_streak=2, min_segments=16,
+                ),
+            ),
+            registry=registry,
+            run_logger=logger,
+        )
 
     if args.shards > 0:
-        from repro.serving import FleetConfig, ShardRouter, replay_fleet
+        from repro.serving import (
+            FleetConfig,
+            ShardRouter,
+            replay_fleet,
+            replay_routed,
+        )
 
         with ShardRouter(
             model,
@@ -410,9 +448,19 @@ def _cmd_serve(args) -> int:
             telemetry=registry,
             run_logger=logger,
         ) as router:
-            responses = replay_fleet(
-                router, streams, forecast_every=args.forecast_every
-            )
+            if maintenance is not None:
+                # Row-by-row routed replay: the maintenance tap only
+                # sees traffic that crosses the router.
+                router.attach_maintenance(maintenance)
+                with maintenance:
+                    responses = replay_routed(
+                        router, streams, forecast_every=args.forecast_every
+                    )
+                    maintenance.join_idle()
+            else:
+                responses = replay_fleet(
+                    router, streams, forecast_every=args.forecast_every
+                )
             stats = router.stats()
         mode = f"{args.shards}-shard fleet"
     else:
@@ -426,6 +474,9 @@ def _cmd_serve(args) -> int:
             telemetry=registry,
             run_logger=logger,
         )
+        if maintenance is not None:
+            server.attach_maintenance(maintenance)
+            maintenance.start()
         if args.threaded:
             with server:
                 responses = replay_streams(
@@ -435,6 +486,9 @@ def _cmd_serve(args) -> int:
             responses = replay_streams(
                 server, streams, forecast_every=args.forecast_every
             )
+        if maintenance is not None:
+            maintenance.join_idle()
+            maintenance.close()
         stats = server.stats()
         mode = "threaded" if args.threaded else "synchronous"
 
@@ -459,6 +513,13 @@ def _cmd_serve(args) -> int:
             print(f"  cache     : {stats['cache_hit_rate']:.1%} hit rate")
     print(f"  rejected  : {stats['rejected_requests']} requests, "
           f"{stats['rejected_observations']} observations")
+    if maintenance is not None:
+        mstats = maintenance.stats()
+        print(f"  maintain  : {mstats['alarms']} alarms, "
+              f"{mstats['jobs_swapped']} swaps, "
+              f"{mstats['jobs_rejected']} rejected, "
+              f"{mstats['rollbacks']} rollbacks "
+              f"(drift {mstats['drift']:.3f}, state {mstats['state']})")
     logger.event("run_end", kind="serve")
     if args.telemetry_dir:
         write_prometheus(registry, args.telemetry_dir)
@@ -587,6 +648,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=0,
                        help="serve through a sharded multi-process fleet of N "
                             "workers (0 = single-process)")
+    serve.add_argument("--maintenance", action="store_true",
+                       help="run the prototype-lifecycle maintenance worker "
+                            "(drift-triggered re-clustering with shadow "
+                            "scoring and hot-swap; see docs/maintenance.md)")
+    serve.add_argument("--shift-after", type=int, default=0,
+                       help="inject a motif shift into every stream after N "
+                            "replay steps (demo fodder for --maintenance; "
+                            "0 = no shift)")
     _add_telemetry_arg(serve)
     serve.set_defaults(func=_cmd_serve)
 

@@ -554,6 +554,18 @@ class StreamingFOCUS:
             instruments["latency"].observe(time.perf_counter() - started)
         return result
 
+    def set_prototypes(self, prototypes: np.ndarray) -> None:
+        """Hot-swap the prototype dictionary and re-arm drift detection.
+
+        The drift baseline describes the *retired* bank's assignment
+        distribution; keeping it across a swap would alarm forever on
+        healthy traffic.  See :meth:`DriftMonitor.reset
+        <repro.telemetry.drift.DriftMonitor.reset>`.
+        """
+        self.model.set_prototypes(prototypes)
+        if self.drift_monitor is not None:
+            self.drift_monitor.reset()
+
     def _check_drift(self, window: np.ndarray) -> str | None:
         """Feed the drift monitor; returns the alarm reason when it fires."""
         monitor = self.drift_monitor

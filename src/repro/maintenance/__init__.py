@@ -1,0 +1,32 @@
+"""Zero-downtime prototype lifecycle management.
+
+Drift-triggered re-clustering with shadow scoring, fenced hot-swap,
+and automatic rollback — see :mod:`repro.maintenance.worker` for the
+lifecycle and docs/maintenance.md for the operator view.
+"""
+
+from repro.maintenance.repair import (
+    RecentHistory,
+    ShadowScorer,
+    bank_statistics,
+    build_job_data,
+    incremental_repair,
+    phase_candidates,
+)
+from repro.maintenance.worker import (
+    MAINTENANCE_MODES,
+    MaintenanceConfig,
+    MaintenanceWorker,
+)
+
+__all__ = [
+    "MAINTENANCE_MODES",
+    "MaintenanceConfig",
+    "MaintenanceWorker",
+    "RecentHistory",
+    "ShadowScorer",
+    "bank_statistics",
+    "build_job_data",
+    "incremental_repair",
+    "phase_candidates",
+]

@@ -44,6 +44,13 @@ class ChaosSpec:
     spike_scale: float = 1e6
     latency_every: int = 0
     latency_s: float = 0.0
+    # Hang fault: sleep ``hang_seconds`` and then *raise* — a wedged
+    # dependency that eventually errors out.  Unlike the latency fault
+    # (which completes normally), a hang is meant to outlive the
+    # caller's timeout budget, exercising abandon-and-retry paths such
+    # as the maintenance refit timeout.
+    hang_every: int = 0
+    hang_seconds: float = 0.0
     start_after: int = 0
     stop_after: int | None = None
 
@@ -75,6 +82,7 @@ class ChaosModel(Module):
         self.injected_failures = 0
         self.injected_spikes = 0
         self.injected_latencies = 0
+        self.injected_hangs = 0
         # (call_index, kind) pairs, for asserting schedule determinism.
         self.injection_log: list[tuple[int, str]] = []
 
@@ -92,6 +100,12 @@ class ChaosModel(Module):
             self.injected_latencies += 1
             self.injection_log.append((call, "latency"))
             time.sleep(spec.latency_s)
+        if spec.fires(spec.hang_every, call):
+            self.injected_hangs += 1
+            self.injection_log.append((call, "hang"))
+            time.sleep(spec.hang_seconds)
+            raise ChaosError(f"injected hang on call {call} "
+                             f"({spec.hang_seconds}s, then failed)")
         if spec.fires(spec.fail_every, call):
             self.injected_failures += 1
             self.injection_log.append((call, "fail"))

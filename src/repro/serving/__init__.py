@@ -29,6 +29,7 @@ from repro.serving.fleet import (
     StaleEpochError,
     WorkerCrashedError,
     replay_fleet,
+    replay_routed,
 )
 from repro.serving.server import ForecastServer, ServingConfig, replay_streams
 from repro.serving.session import EntitySession, EntitySessionStore, SessionStats
@@ -51,5 +52,6 @@ __all__ = [
     "StaleEpochError",
     "WorkerCrashedError",
     "replay_fleet",
+    "replay_routed",
     "replay_streams",
 ]

@@ -240,11 +240,22 @@ class PrototypeBank:
         return self._shm.name
 
     def publish(self, prototypes: np.ndarray, epoch: int) -> int:
-        """Atomically install a new bank under ``epoch`` (writer side)."""
+        """Atomically install a new bank under ``epoch`` (writer side).
+
+        ``epoch`` must strictly exceed the currently published epoch:
+        the epoch is the fencing token workers compare against the
+        router's advertisement, so publishing an equal or older epoch
+        would let a lagging writer silently retire a newer bank.
+        """
         prototypes = np.asarray(prototypes, dtype=np.float64)
         if prototypes.shape != self.shape:
             raise ValueError(
                 f"prototype bank shape {prototypes.shape} != expected {self.shape}"
+            )
+        current = int(self._header[1])
+        if epoch <= current:
+            raise ValueError(
+                f"epoch must be strictly increasing: {epoch} <= published {current}"
             )
         self._header[0] += 1  # odd: update in progress
         self._data[...] = prototypes
@@ -252,9 +263,16 @@ class PrototypeBank:
         self._header[0] += 1  # even: stable
         return epoch
 
-    def read(self) -> tuple[int, np.ndarray]:
-        """A consistent ``(epoch, bank copy)`` snapshot (reader side)."""
-        while True:
+    def read(self, max_retries: int = 10_000) -> tuple[int, np.ndarray]:
+        """A consistent ``(epoch, bank copy)`` snapshot (reader side).
+
+        Retries are bounded: a writer that crashed mid-publish leaves
+        the seqlock odd forever, and an unbounded spin would hang every
+        reader with it.  After ``max_retries`` failed attempts (~1 s at
+        the default) the reader raises :class:`FleetError` instead, so
+        a torn bank surfaces as a servable error, never a wedged worker.
+        """
+        for _ in range(max_retries):
             before = int(self._header[0])
             if before % 2 == 0:
                 epoch = int(self._header[1])
@@ -262,6 +280,10 @@ class PrototypeBank:
                 if int(self._header[0]) == before:
                     return epoch, bank
             time.sleep(1e-4)  # writer mid-swap; yield the (possibly one) CPU
+        raise FleetError(
+            f"prototype bank seqlock unstable after {max_retries} retries "
+            "(writer crashed mid-publish?)"
+        )
 
     @property
     def epoch(self) -> int:
@@ -576,6 +598,7 @@ class ShardRouter:
         self._last_row_lock = threading.Lock()
         self._started = False
         self._closed = False
+        self._maintenance = None
         self.rejected_requests = 0
         self._instruments = None
         if telemetry is not None:
@@ -754,6 +777,20 @@ class ShardRouter:
             self._run_logger.event("fleet_swap", epoch=epoch)
         return epoch
 
+    def attach_maintenance(self, worker) -> None:
+        """Wire a :class:`~repro.maintenance.MaintenanceWorker` in.
+
+        The router taps every observation it routes into the worker's
+        history (router-side, so drift is watched fleet-wide over the
+        *router's* model replica), and the worker's hot-swap callable is
+        bound to :meth:`set_prototypes` — an accepted candidate is
+        published to shared memory under a new fenced epoch and every
+        shard adopts it on its next request.  The caller owns the
+        worker's lifecycle (``start``/``close``).
+        """
+        worker.bind(self.set_prototypes)
+        self._maintenance = worker
+
     # -- traffic -----------------------------------------------------------
     def observe(self, entity_id: str, observation: np.ndarray):
         """Route one ``(N,)`` observation to its owning shard."""
@@ -763,6 +800,8 @@ class ShardRouter:
         )
         with self._last_row_lock:
             self._last_row[entity_id] = observation.copy()
+        if self._maintenance is not None:
+            self._maintenance.record(entity_id, observation)
         return result
 
     def observe_many(self, entity_id: str, block: np.ndarray):
@@ -774,6 +813,9 @@ class ShardRouter:
         if len(block):
             with self._last_row_lock:
                 self._last_row[entity_id] = block[-1].copy()
+        if self._maintenance is not None:
+            for row in block:
+                self._maintenance.record(entity_id, row)
         return result
 
     def _fleet_reject(self, entity_id: str, last_row: np.ndarray) -> ForecastResponse:
@@ -939,4 +981,41 @@ def replay_fleet(
     responses = [item[2] for item in merged]
     if with_latencies:
         return responses, [item[3] for item in merged]
+    return responses
+
+
+def replay_routed(
+    router: ShardRouter,
+    streams: dict[str, np.ndarray],
+    forecast_every: int = 8,
+    warmup: int | None = None,
+) -> list[ForecastResponse]:
+    """Row-by-row replay through the router's public traffic methods.
+
+    Unlike :func:`replay_fleet` (which ships whole streams into the
+    workers for throughput), every row goes through
+    :meth:`ShardRouter.observe` and every due forecast through
+    :meth:`ShardRouter.forecast_many` — the shape of real online
+    traffic.  This is the replay the maintenance path needs: the
+    router-side observation tap (:meth:`ShardRouter.attach_maintenance`)
+    only sees traffic that crosses the router.  Returns responses in
+    issue order.
+    """
+    if forecast_every < 1:
+        raise ValueError("forecast_every must be at least 1")
+    router._require_started()
+    if not streams:
+        return []
+    lookback = router.model.config.lookback
+    warmup = lookback if warmup is None else warmup
+    length = min(len(stream) for stream in streams.values())
+    responses: list[ForecastResponse] = []
+    for step in range(length):
+        due: list[str] = []
+        for entity_id, stream in streams.items():
+            router.observe(entity_id, stream[step])
+            if step + 1 >= warmup and (step + 1) % forecast_every == 0:
+                due.append(entity_id)
+        if due:
+            responses.extend(router.forecast_many(due))
     return responses

@@ -138,6 +138,7 @@ class ForecastServer:
         self._queue: deque[_QueuedRequest] = deque()
         self._running = False
         self._thread: threading.Thread | None = None
+        self._maintenance = None
         self.rejected_requests = 0
         self._instruments = None
         if telemetry is not None:
@@ -200,11 +201,45 @@ class ForecastServer:
     # ------------------------------------------------------------------
     def observe(self, entity_id: str, observation: np.ndarray):
         """Push one ``(N,)`` observation into ``entity_id``'s session."""
-        return self.store.observe(entity_id, observation)
+        result = self.store.observe(entity_id, observation)
+        if self._maintenance is not None:
+            self._maintenance.record(entity_id, observation)
+        return result
 
     def observe_many(self, entity_id: str, block: np.ndarray):
         """Push a ``(T, N)`` block into ``entity_id``'s session."""
-        return self.store.observe_many(entity_id, block)
+        result = self.store.observe_many(entity_id, block)
+        if self._maintenance is not None:
+            for row in np.asarray(block):
+                self._maintenance.record(entity_id, row)
+        return result
+
+    # ------------------------------------------------------------------
+    # Prototype lifecycle
+    # ------------------------------------------------------------------
+    def set_prototypes(self, prototypes: np.ndarray) -> None:
+        """Hot-swap the prototype dictionary with zero downtime.
+
+        Delegates to :meth:`FOCUSForecaster.set_prototypes
+        <repro.core.model.FOCUSForecaster.set_prototypes>`, which bumps
+        ``prototype_version`` — the micro-batcher re-reads the version
+        after every forward and the cache is keyed on it, so in-flight
+        batches stay consistent and stale cache entries simply stop
+        matching.  No queue pause, no request is ever rejected for a
+        swap.
+        """
+        self.model.set_prototypes(prototypes)
+
+    def attach_maintenance(self, worker) -> None:
+        """Wire a :class:`~repro.maintenance.MaintenanceWorker` in.
+
+        Every accepted observation is tapped into the worker's history
+        (driving its drift monitor), and the worker's hot-swap callable
+        is bound to :meth:`set_prototypes`.  The caller owns the
+        worker's lifecycle (``start``/``close``).
+        """
+        worker.bind(self.set_prototypes)
+        self._maintenance = worker
 
     # ------------------------------------------------------------------
     # Forecasting

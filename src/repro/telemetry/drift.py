@@ -121,13 +121,50 @@ class DriftMonitor:
             raise ValueError("baseline needs at least one assignment")
         self.baseline = counts.copy()
 
+    def reset(self, baseline: np.ndarray | None = None) -> None:
+        """Re-arm the monitor after a prototype hot-swap.
+
+        The old baseline describes the *retired* bank's assignment
+        distribution; comparing post-swap traffic against it would
+        re-fire the alarm forever.  ``reset`` clears the debounce state
+        and the recent window, and either installs ``baseline``
+        (e.g. the candidate bank's fit-time assignment counts) or
+        re-arms auto-capture from the next ``baseline_forecasts``
+        forecasts.  Cumulative counters (``utilization``, ``alarms``)
+        are preserved.
+        """
+        self._recent.clear()
+        self._streak = 0
+        self.alarmed = False
+        self.last_drift = 0.0
+        self.forecasts_seen = 0
+        self._baseline_accum = np.zeros(self.num_prototypes, dtype=np.int64)
+        if baseline is None:
+            self.baseline = None
+        else:
+            self.set_baseline(baseline)
+
     def observe(self, assignments: np.ndarray) -> dict:
         """Record one forecast window's nearest-prototype assignments.
 
         Returns a summary dict: utilization counts for this window,
         entropy, drift, and whether the alarm fired on this call.
+
+        An empty assignment array (a window that produced no segments)
+        is a no-op observation: nothing is counted, the baseline
+        auto-capture countdown does not advance, and the alarm cannot
+        fire — empty windows must neither dilute the baseline nor feed
+        degenerate zero-count distributions into the drift statistics.
         """
         assignments = np.asarray(assignments, dtype=np.int64).ravel()
+        if assignments.size == 0:
+            return {
+                "counts": np.zeros(self.num_prototypes, dtype=np.int64),
+                "entropy": self.last_entropy,
+                "drift": self.last_drift,
+                "alarmed": False,
+                "reason": None,
+            }
         counts = np.bincount(assignments, minlength=self.num_prototypes)
         self.forecasts_seen += 1
         self.utilization += counts

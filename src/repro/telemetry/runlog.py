@@ -51,6 +51,13 @@ EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
     "fleet_stop": ("shards",),
     "fleet_swap": ("epoch",),
     "fleet_worker_dead": ("shard",),
+    # Prototype-lifecycle maintenance (docs/maintenance.md).
+    "maintenance_job": ("trigger", "status"),
+    "maintenance_refit": ("attempt", "mode", "status"),
+    "maintenance_shadow": ("candidate_score", "live_score", "margin", "accepted"),
+    "swap_rejected": ("candidate_score", "live_score", "margin"),
+    "maintenance_swap": ("mode", "prototype_version"),
+    "maintenance_rollback": ("reason",),
 }
 
 

@@ -1,0 +1,193 @@
+"""Shared fixtures for the maintenance suite.
+
+Two model tiers:
+
+- ``quick_model`` — a tiny untrained-readout forecaster whose prototype
+  bank is fitted on a "regime A" stream.  Unit tests that only exercise
+  lifecycle *machinery* (queueing, timeouts, rollback bookkeeping) use
+  it with ``shadow_metric="inertia"``, which scores banks by the
+  clustering objective alone and is therefore deterministic without any
+  readout training.
+
+- ``trained_snapshot`` — the motif-language construction used by the
+  chaos lifecycle tests.  Series are deterministic cycles over an
+  8-motif vocabulary where the continuation motif never appears in the
+  lookback window: the model can only forecast by *classifying* the last
+  segment's motif through prototype routing.  Training interleaves two
+  regimes with the matching bank installed (set bank A → fit on regime A
+  data, set bank B → fit on regime B, with a decaying learning rate), so
+  the converged weights depend on correct routing per regime.  The
+  result: serving regime-B traffic with the stale regime-A bank is ~25x
+  worse than pre-shift, and hot-swapping in a regime-B bank recovers to
+  ~1x — exactly the failure mode the maintenance worker exists to repair.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import ClusteringConfig, SegmentClusterer
+from repro.core.model import FOCUSConfig, FOCUSForecaster
+from repro.data import SlidingWindowDataset
+from repro.data.segments import segment_series
+from repro.nn import init as nn_init
+from repro.training import Trainer, TrainerConfig
+
+# Motif-language geometry (see module docstring).
+P = 8            # segment / motif length
+M = 8            # vocabulary size
+LOOKBACK = 32    # 4 segments — continuation motif absent from the window
+HORIZON = 8      # exactly one motif ahead
+ENTITIES = 3
+K = 8
+
+
+class ListSink:
+    """In-memory run-log sink: events land in ``self.events``."""
+
+    def __init__(self):
+        self.events = []
+
+    def write(self, event):
+        self.events.append(event)
+
+    def close(self):
+        pass
+
+
+def events_of(sink, event_type):
+    return [e for e in sink.events if e["type"] == event_type]
+
+
+# ----------------------------------------------------------------------
+# Motif-language construction
+# ----------------------------------------------------------------------
+def make_vocab(seed, freqs):
+    """M unit-norm periodic shapes at the given base frequencies."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(P)
+    shapes = []
+    for i in range(M):
+        f = freqs[i % len(freqs)]
+        phase = rng.uniform(0, 2 * np.pi)
+        s = np.sin(2 * np.pi * f * t / P + phase) + 0.3 * np.sin(
+            2 * np.pi * 2 * f * t / P
+        )
+        s = s - s.mean()
+        shapes.append(s / np.std(s))
+    return np.stack(shapes)
+
+
+# Disjoint frequency families: regime B's motifs are geometrically far
+# from every regime-A prototype, so assignments collapse (→ drift alarm)
+# and routing-dependent forecasts break (→ MSE spike) under a stale bank.
+VOCAB_A = make_vocab(1, [1.0, 1.5])
+VOCAB_B = make_vocab(2, [2.0, 2.5])
+
+
+def motif_series(vocab, n_segments, rng, start=0):
+    """One channel: the deterministic motif cycle plus small noise."""
+    order = [(start + i) % M for i in range(n_segments)]
+    out = np.concatenate([vocab[m] for m in order])
+    return out + 0.05 * rng.standard_normal(len(out))
+
+
+def entity_data(vocab, n_segments, seed):
+    """A ``(T, ENTITIES)`` block with a random cycle phase per channel."""
+    rng = np.random.default_rng(seed)
+    cols = [
+        motif_series(vocab, n_segments, rng, start=rng.integers(0, M))
+        for _ in range(ENTITIES)
+    ]
+    return np.stack(cols, axis=1)
+
+
+def shifted_stream(seed, pre_steps, post_steps):
+    """One tenant's traffic: regime A, then an abrupt switch to B."""
+    rng = np.random.default_rng(seed)
+    parts = []
+    for vocab, steps in ((VOCAB_A, pre_steps), (VOCAB_B, post_steps)):
+        if steps:
+            parts.append(
+                np.stack(
+                    [
+                        motif_series(vocab, steps // P, rng, start=rng.integers(0, M))
+                        for _ in range(ENTITIES)
+                    ],
+                    axis=1,
+                )
+            )
+    return np.concatenate(parts)
+
+
+@pytest.fixture(scope="session")
+def trained_snapshot():
+    """Snapshot of the two-regime model (bank A installed) + both banks.
+
+    Session-scoped because training costs ~12 s; tests rebuild replicas
+    via ``FOCUSForecaster.from_snapshot`` so mutation never leaks.
+    """
+    nn_init.seed(0)
+    data_a = entity_data(VOCAB_A, 160, 10)
+    data_b = entity_data(VOCAB_B, 160, 20)
+    config = FOCUSConfig(
+        lookback=LOOKBACK, horizon=HORIZON, num_entities=ENTITIES,
+        segment_length=P, num_prototypes=K, d_model=32,
+    )
+    clustering = ClusteringConfig(num_prototypes=K, segment_length=P, seed=0)
+    model = FOCUSForecaster.from_training_data(config, data_a, clustering)
+    bank_a = model.prototype_values().copy()
+    bank_b = SegmentClusterer(clustering).fit(
+        segment_series(data_b, P)
+    ).prototypes_.copy()
+    schedule = (
+        [("a", 3, 5e-3), ("b", 3, 5e-3)]
+        + [("a", 1, 2e-3), ("b", 1, 2e-3)] * 3
+        + [("a", 1, 5e-4), ("b", 1, 5e-4)] * 4
+        + [("a", 1, 2e-4), ("b", 1, 2e-4)] * 2
+    )
+    for which, epochs, lr in schedule:
+        model.set_prototypes(bank_a if which == "a" else bank_b)
+        data = data_a if which == "a" else data_b
+        Trainer(model, TrainerConfig(epochs=epochs, batch_size=32, lr=lr)).fit(
+            SlidingWindowDataset(data, lookback=LOOKBACK, horizon=HORIZON)
+        )
+    model.set_prototypes(bank_a)
+    model.eval()
+    return {
+        "snapshot": model.snapshot(),
+        "bank_a": bank_a,
+        "bank_b": bank_b,
+    }
+
+
+# ----------------------------------------------------------------------
+# Quick untrained tier (machinery unit tests)
+# ----------------------------------------------------------------------
+Q_LOOKBACK, Q_HORIZON, Q_ENTITIES, Q_P, Q_K = 16, 4, 2, 4, 4
+
+
+def regime_rows(rng, steps, fast=False):
+    """Slow sine rows (regime A) or fast square-wave rows (regime B)."""
+    t = np.arange(steps)
+    if fast:
+        base = np.sign(np.sin(np.pi * t / 1.5)) * 2.0
+    else:
+        base = np.sin(2 * np.pi * t / 16.0)
+    block = np.stack([base] * Q_ENTITIES, axis=1)
+    return block + 0.05 * rng.standard_normal(block.shape)
+
+
+def quick_model(seed=0):
+    """Tiny forecaster with a bank fitted on regime-A segments."""
+    nn_init.seed(seed)
+    config = FOCUSConfig(
+        lookback=Q_LOOKBACK, horizon=Q_HORIZON, num_entities=Q_ENTITIES,
+        segment_length=Q_P, num_prototypes=Q_K, d_model=8, num_readout=2,
+    )
+    history = regime_rows(np.random.default_rng(7), 400)
+    model = FOCUSForecaster.from_training_data(
+        config, history,
+        ClusteringConfig(num_prototypes=Q_K, segment_length=Q_P, seed=0),
+    )
+    model.eval()
+    return model

@@ -1,0 +1,285 @@
+"""Unit tests for the maintenance repair primitives."""
+
+import numpy as np
+import pytest
+
+from repro.maintenance import (
+    RecentHistory,
+    ShadowScorer,
+    bank_statistics,
+    build_job_data,
+    incremental_repair,
+    phase_candidates,
+)
+from repro.data.segments import segment_series
+
+from .conftest import Q_ENTITIES, Q_HORIZON, Q_LOOKBACK, Q_P, quick_model, regime_rows
+
+pytestmark = pytest.mark.maintenance
+
+
+class TestRecentHistory:
+    def test_capacity_bounds_per_entity_depth(self):
+        history = RecentHistory(4, 2)
+        for step in range(10):
+            depth = history.record("a", [float(step), 0.0])
+            assert depth == min(step + 1, 4)
+        tail = history.tail("a", 4)
+        np.testing.assert_array_equal(tail[:, 0], [6.0, 7.0, 8.0, 9.0])
+
+    def test_non_finite_rows_dropped_and_reported(self):
+        history = RecentHistory(8, 2)
+        assert history.record("a", [1.0, 2.0]) == 1
+        assert history.record("a", [np.nan, 2.0]) is None
+        assert history.record("a", [1.0, np.inf]) is None
+        assert history.dropped_rows == 2
+        assert history.total_rows() == 1
+
+    def test_tail_requires_full_depth(self):
+        history = RecentHistory(8, 1)
+        history.record("a", [1.0])
+        assert history.tail("a", 2) is None
+        assert history.tail("missing", 1) is None
+
+    def test_snapshot_is_a_copy(self):
+        history = RecentHistory(8, 1)
+        history.record("a", [1.0])
+        snap = history.snapshot()
+        snap["a"][0, 0] = 99.0
+        np.testing.assert_array_equal(history.tail("a", 1), [[1.0]])
+
+    def test_shape_and_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            RecentHistory(0, 1)
+        history = RecentHistory(4, 2)
+        with pytest.raises(ValueError, match="row"):
+            history.record("a", [1.0, 2.0, 3.0])
+
+
+class TestBuildJobData:
+    def make_history(self, rows_per_entity, entities=2):
+        # Rows encode their global index so provenance is checkable.
+        return {
+            f"e{i}": np.arange(rows_per_entity, dtype=np.float64)[:, None]
+            * np.ones((1, Q_ENTITIES))
+            + 1000.0 * i
+            for i in range(entities)
+        }
+
+    def test_holdout_taken_from_newest_rows_round_robin(self):
+        history = self.make_history(60)
+        _, inputs, targets, _ = build_job_data(
+            history, Q_LOOKBACK, Q_HORIZON, Q_P, holdout_windows=4
+        )
+        assert len(inputs) == len(targets) == 4
+        # First pass visits each entity's newest window once.
+        assert targets[0][-1, 0] == 59.0
+        assert targets[1][-1, 0] == 1059.0
+        # Second pass steps one horizon back.
+        assert targets[2][-1, 0] == 59.0 - Q_HORIZON
+        for window_in, window_out in zip(inputs, targets):
+            assert window_in.shape == (Q_LOOKBACK, Q_ENTITIES)
+            assert window_out.shape == (Q_HORIZON, Q_ENTITIES)
+            # The target is the input's immediate continuation.
+            assert window_out[0, 0] == window_in[-1, 0] + 1.0
+
+    def test_fit_rows_exclude_newest_holdout_targets(self):
+        history = self.make_history(60, entities=1)
+        fit_segments, _, _, fit_rows = build_job_data(
+            history, Q_LOOKBACK, Q_HORIZON, Q_P, holdout_windows=2
+        )
+        # The newest horizon rows (56..59) back the holdout targets and
+        # must never leak into the refit segments.
+        assert fit_segments is not None
+        assert fit_segments.max() <= 55.0
+
+    def test_short_history_yields_no_holdout(self):
+        history = {"e0": np.zeros((Q_LOOKBACK + Q_HORIZON - 1, Q_ENTITIES))}
+        fit_segments, inputs, targets, _ = build_job_data(
+            history, Q_LOOKBACK, Q_HORIZON, Q_P, holdout_windows=4
+        )
+        assert inputs == [] and targets == []
+        assert fit_segments is not None  # still usable for fitting
+
+    def test_empty_history(self):
+        fit_segments, inputs, _, _ = build_job_data(
+            {}, Q_LOOKBACK, Q_HORIZON, Q_P, holdout_windows=4
+        )
+        assert fit_segments is None and inputs == []
+
+
+class TestPhaseCandidates:
+    P = 4
+
+    def global_rows(self, start, count):
+        # Column 0 encodes the row's global stream index, so segment
+        # boundaries are checkable after any chop offset.
+        return np.arange(start, start + count, dtype=np.float64)[:, None]
+
+    def test_phase_zero_without_starts_is_plain_chop(self):
+        rows = self.global_rows(0, 17)
+        candidates = phase_candidates({"a": rows}, self.P)
+        assert [phase for phase, _ in candidates] == list(range(self.P))
+        np.testing.assert_array_equal(
+            candidates[0][1], segment_series(rows, self.P)
+        )
+
+    def test_offsets_shift_segment_boundaries(self):
+        rows = self.global_rows(0, 20)
+        for phase, segments in phase_candidates({"a": rows}, self.P):
+            # Every segment starts at a row index ≡ phase (mod p).
+            assert (segments[:, 0] % self.P == phase).all()
+
+    def test_global_starts_align_entities(self):
+        # Entity b's buffer starts one global step after a's — the
+        # mid-step-refit case.  A shared raw offset would misalign them;
+        # per-entity starts must keep every boundary on the same global
+        # phase across both entities.
+        fit_rows = {
+            "a": self.global_rows(0, 16),
+            "b": self.global_rows(1, 16),
+        }
+        starts = {"a": 0, "b": 1}
+        candidates = phase_candidates(fit_rows, self.P, starts)
+        assert len(candidates) == self.P
+        for phase, segments in candidates:
+            assert (segments[:, 0] % self.P == phase).all()
+
+    def test_short_rows_skipped_per_phase(self):
+        # Exactly one segment long: only offset 0 fits, so without
+        # starts only phase 0 survives.
+        candidates = phase_candidates(
+            {"a": self.global_rows(0, self.P)}, self.P
+        )
+        assert [phase for phase, _ in candidates] == [0]
+        # An entity too short for any offset contributes nothing at all.
+        assert phase_candidates(
+            {"a": self.global_rows(0, self.P - 1)}, self.P
+        ) == []
+
+
+class TestIncrementalRepair:
+    def test_nudge_moves_occupied_prototypes_toward_bucket_means(self, rng):
+        prototypes = np.array(
+            [[0.0] * Q_P, [10.0] * Q_P, [20.0] * Q_P], dtype=np.float64
+        )
+        segments = np.concatenate(
+            [
+                center + 0.1 * rng.standard_normal((20, Q_P))
+                for center in (1.0, 11.0, 21.0)
+            ]
+        )
+        before = prototypes.copy()
+        candidate, info = incremental_repair(prototypes, segments, alpha=0.2)
+        assert info["nudged"] == 3 and info["split"] is None
+        np.testing.assert_array_equal(prototypes, before)  # input untouched
+        # Each prototype moved toward (but not past) its bucket mean.
+        assert np.all(candidate > before)
+        assert np.all(candidate < before + 1.5)
+
+    def test_split_fires_on_dispersed_bucket_and_preserves_k(self, rng):
+        # Bucket 0 secretly contains two far-apart motifs; buckets 1 and
+        # 2 are near-duplicates (the natural merge victims).
+        prototypes = np.array(
+            [[0.0] * Q_P, [30.0] * Q_P, [30.5] * Q_P, [-30.0] * Q_P]
+        )
+        segments = np.concatenate(
+            [
+                -5.0 + 0.05 * rng.standard_normal((10, Q_P)),
+                5.0 + 0.05 * rng.standard_normal((10, Q_P)),
+                30.25 + 0.05 * rng.standard_normal((40, Q_P)),
+                -30.0 + 0.05 * rng.standard_normal((40, Q_P)),
+            ]
+        )
+        candidate, info = incremental_repair(prototypes, segments, alpha=0.2)
+        assert info["split"] == 0
+        assert info["merged"] is not None
+        assert candidate.shape == prototypes.shape
+        # The two split centroids recover the hidden sub-motifs.
+        first = candidate[0].mean()
+        second = candidate[info["merged"][1]].mean()
+        assert sorted([round(first), round(second)]) == [-5, 5]
+
+    def test_repair_reduces_inertia_after_regime_shift(self, rng):
+        model = quick_model()
+        live = model.prototype_values()
+        from repro.data.segments import segment_series
+
+        shifted = regime_rows(rng, 200, fast=True)
+        segments = segment_series(shifted, Q_P)
+        candidate, _ = incremental_repair(live, segments, alpha=0.2)
+        stats_before = bank_statistics(segments, live, alpha=0.2)
+        stats_after = bank_statistics(segments, candidate, alpha=0.2)
+        assert stats_after["mean_distance"] < stats_before["mean_distance"]
+
+
+class TestBankStatistics:
+    def test_counts_and_dispersion(self, rng):
+        prototypes = np.array([[0.0] * Q_P, [10.0] * Q_P])
+        segments = np.concatenate(
+            [
+                0.1 * rng.standard_normal((5, Q_P)),
+                10.0 + 0.1 * rng.standard_normal((15, Q_P)),
+            ]
+        )
+        stats = bank_statistics(segments, prototypes, alpha=0.2)
+        np.testing.assert_array_equal(stats["counts"], [5, 15])
+        assert stats["dispersion"].shape == (2,)
+        assert stats["mean_distance"] > 0.0
+        assert len(stats["labels"]) == 20
+
+
+class TestShadowScorer:
+    def holdout(self, rng, fast=False, windows=4):
+        rows = regime_rows(rng, (Q_LOOKBACK + Q_HORIZON) * windows, fast=fast)
+        inputs, targets = [], []
+        for w in range(windows):
+            start = w * (Q_LOOKBACK + Q_HORIZON)
+            inputs.append(rows[start : start + Q_LOOKBACK])
+            targets.append(
+                rows[start + Q_LOOKBACK : start + Q_LOOKBACK + Q_HORIZON]
+            )
+        return inputs, targets
+
+    def test_unknown_metric_rejected(self):
+        model = quick_model()
+        with pytest.raises(ValueError, match="shadow metric"):
+            ShadowScorer(model.snapshot(), "accuracy")
+
+    def test_nan_bank_scores_infinite(self, rng):
+        model = quick_model()
+        scorer = ShadowScorer(model.snapshot(), "mse")
+        inputs, targets = self.holdout(rng)
+        bad = np.full_like(model.prototype_values(), np.nan)
+        assert scorer.score(bad, inputs, targets) == float("inf")
+        good = scorer.score(model.prototype_values(), inputs, targets)
+        assert np.isfinite(good)
+
+    def test_empty_holdout_scores_infinite(self):
+        model = quick_model()
+        scorer = ShadowScorer(model.snapshot(), "mse")
+        assert scorer.score(model.prototype_values(), [], []) == float("inf")
+
+    def test_inertia_prefers_matching_bank(self, rng):
+        model = quick_model()  # bank fitted on regime A
+        scorer = ShadowScorer(model.snapshot(), "inertia")
+        inputs, targets = self.holdout(rng, fast=True)
+        from repro.core.clustering import ClusteringConfig, SegmentClusterer
+        from repro.data.segments import segment_series
+
+        fast_bank = SegmentClusterer(
+            ClusteringConfig(num_prototypes=4, segment_length=Q_P, seed=0)
+        ).fit(segment_series(regime_rows(rng, 200, fast=True), Q_P)).prototypes_
+        stale = scorer.score(model.prototype_values(), inputs, targets)
+        fresh = scorer.score(fast_bank, inputs, targets)
+        assert fresh < stale
+
+    def test_scoring_never_touches_the_live_model(self, rng):
+        model = quick_model()
+        live = model.prototype_values().copy()
+        version = model.prototype_version
+        scorer = ShadowScorer(model.snapshot(), "mse")
+        inputs, targets = self.holdout(rng)
+        scorer.score(np.ones_like(live) * 7.0, inputs, targets)
+        np.testing.assert_array_equal(model.prototype_values(), live)
+        assert model.prototype_version == version

@@ -65,6 +65,36 @@ class TestSchedule:
         assert a.injection_log == b.injection_log
         assert a.injection_log  # schedule actually fired
 
+    def test_hang_injection_raises_after_sleep(self, rng):
+        model = wrapped(ChaosSpec(hang_every=2, hang_seconds=0.0))
+        forward(model, rng)
+        with pytest.raises(ChaosError, match="injected hang on call 2"):
+            forward(model, rng)
+        assert model.injected_hangs == 1
+        assert (2, "hang") in model.injection_log
+        # A hang both stalls AND fails — the caller must treat it like a
+        # crashed refit attempt, which is exactly what the maintenance
+        # worker's timeout + abandon path exercises.
+        forward(model, rng)  # call 3 is clean again
+        with pytest.raises(ChaosError, match="hang"):
+            forward(model, rng)
+        assert model.injected_hangs == 2
+
+    def test_hang_respects_injection_window(self, rng):
+        model = wrapped(
+            ChaosSpec(hang_every=1, hang_seconds=0.0, start_after=2,
+                      stop_after=4)
+        )
+        fired = []
+        for _ in range(6):
+            try:
+                forward(model, rng)
+                fired.append(False)
+            except ChaosError:
+                fired.append(True)
+        assert fired == [False, False, True, True, False, False]
+        assert model.injected_hangs == 2
+
     def test_latency_injection_counts(self, rng):
         model = wrapped(ChaosSpec(latency_every=2, latency_s=0.0))
         for _ in range(4):

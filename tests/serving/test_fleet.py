@@ -160,6 +160,41 @@ class TestPrototypeBank:
             owner.close()
             owner.unlink()
 
+    def test_stale_epoch_rejected(self):
+        """A lagging writer must not silently retire a newer bank."""
+        owner = PrototypeBank(4, 8)
+        try:
+            owner.publish(np.zeros((4, 8)), epoch=5)
+            for stale in (5, 3, 0, -1):
+                with pytest.raises(ValueError, match="strictly increasing"):
+                    owner.publish(np.ones((4, 8)), epoch=stale)
+            # The rejected publishes left the bank untouched and readable.
+            epoch, bank = owner.read()
+            assert epoch == 5
+            assert np.array_equal(bank, np.zeros((4, 8)))
+            owner.publish(np.ones((4, 8)), epoch=6)
+            assert owner.epoch == 6
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_crashed_writer_surfaces_as_fleet_error(self):
+        """A writer that dies mid-publish leaves the seqlock odd; readers
+        must give up after bounded retries instead of spinning forever."""
+        owner = PrototypeBank(4, 8)
+        try:
+            owner.publish(np.zeros((4, 8)), epoch=1)
+            owner._header[0] += 1  # simulate a crash between the bumps
+            with pytest.raises(FleetError, match="seqlock unstable after 3"):
+                owner.read(max_retries=3)
+            # Recovery: a writer completing the swap unblocks readers.
+            owner._header[0] += 1
+            epoch, _ = owner.read(max_retries=3)
+            assert epoch == 1
+        finally:
+            owner.close()
+            owner.unlink()
+
 
 # ----------------------------------------------------------------------
 # Cross-process equivalence (the tentpole invariant)

@@ -101,6 +101,54 @@ class TestDriftMonitor:
             monitor.observe([0, 0, 0])
         assert not monitor.alarmed
 
+    def test_reset_rearms_baseline_preserving_counters(self):
+        monitor = DriftMonitor(2, self.config())
+        for _ in range(4):
+            monitor.observe([0, 0, 1])
+        for _ in range(6):
+            monitor.observe([1, 1, 1])
+        assert monitor.alarmed
+        alarms_before = monitor.alarms
+        utilization_before = monitor.utilization.copy()
+        assert utilization_before.sum() > 0
+
+        monitor.reset()
+        # Debounce and baseline are re-armed...
+        assert not monitor.alarmed
+        assert monitor.baseline is None
+        assert monitor.last_drift == 0.0
+        assert monitor.forecasts_seen == 0
+        # ...but cumulative counters survive the swap.
+        assert monitor.alarms == alarms_before
+        np.testing.assert_array_equal(monitor.utilization, utilization_before)
+
+        # The post-swap distribution becomes the new baseline: traffic
+        # that would have re-fired against the old baseline is now clean.
+        for _ in range(10):
+            result = monitor.observe([1, 1, 1])
+            assert not result["alarmed"]
+        np.testing.assert_array_equal(monitor.baseline, [0, 6])
+
+    def test_reset_with_explicit_baseline(self):
+        monitor = DriftMonitor(2, self.config())
+        monitor.observe([0, 0, 1])
+        monitor.reset(baseline=np.array([1, 9]))
+        np.testing.assert_array_equal(monitor.baseline, [1, 9])
+
+    def test_empty_observation_is_noop(self):
+        monitor = DriftMonitor(2, self.config())
+        monitor.observe([0, 0, 1])
+        seen = monitor.forecasts_seen
+        utilization = monitor.utilization.copy()
+        result = monitor.observe([])
+        assert not result["alarmed"]
+        assert result["reason"] is None
+        np.testing.assert_array_equal(result["counts"], [0, 0])
+        # Nothing advanced: no baseline-capture progress, no counts.
+        assert monitor.forecasts_seen == seen
+        np.testing.assert_array_equal(monitor.utilization, utilization)
+        assert monitor.baseline is None  # still one short of capture
+
     def test_metrics_and_events_recorded(self, tmp_path):
         registry = MetricsRegistry()
         logger = RunLogger.to_dir(tmp_path)

@@ -47,6 +47,15 @@ SAMPLE_PAYLOADS = {
     "fleet_stop": {"shards": 4},
     "fleet_swap": {"epoch": 2},
     "fleet_worker_dead": {"shard": 1},
+    "maintenance_job": {"trigger": "drift_alarm: tv 0.4", "status": "swapped"},
+    "maintenance_refit": {"attempt": 1, "mode": "incremental", "status": "ok"},
+    "maintenance_shadow": {
+        "candidate_score": 0.8, "live_score": 1.1, "margin": 0.0,
+        "accepted": True,
+    },
+    "swap_rejected": {"candidate_score": 1.4, "live_score": 1.1, "margin": 0.0},
+    "maintenance_swap": {"mode": "full", "prototype_version": 3},
+    "maintenance_rollback": {"reason": "post-swap mse regressed"},
 }
 
 
