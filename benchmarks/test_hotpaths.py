@@ -15,6 +15,7 @@ from repro.profiling.bench import (
     FLEET_SCALING_GATE,
     bench_clustering,
     bench_fleet,
+    bench_fleet_observability,
     bench_protoattn,
     bench_serving,
     bench_streaming,
@@ -126,12 +127,31 @@ def test_fleet_replay_scales_or_records(benchmark):
         assert result["scaling_4x"] >= FLEET_SCALING_GATE, result
 
 
+def test_observability_plane_stays_cheap(benchmark):
+    """Arming tracing + SLO + a live registry must stay near-free on the
+    serving hot path.  The paired-ratio median absorbs frequency drift,
+    but a pytest box is still noisier than the dedicated CI gate job, so
+    assert double the CI bound here and record the precise number."""
+    result = benchmark.pedantic(
+        bench_fleet_observability, kwargs={"quick": True}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"  observability: {result['off_per_s']:.0f} fc/s off vs "
+          f"{result['on_per_s']:.0f} fc/s armed "
+          f"({result['overhead_pct']:+.2f}%); aggregation "
+          f"{result['aggregate_ms']:.2f}ms/{result['aggregate_shards']}-shard")
+    assert result["overhead_pct"] <= 2 * result["gate_pct"], result
+    assert result["aggregate_ms"] < 100.0, result
+    assert result["merged_series"] > 0, result
+
+
 def test_report_is_json_serializable():
     import json
 
     report = run_benchmarks(quick=True)
     encoded = json.loads(json.dumps(report))
-    assert encoded["schema"] == 5
+    assert encoded["schema"] == 7
     assert set(encoded) == {
         "schema",
         "mode",
@@ -143,8 +163,13 @@ def test_report_is_json_serializable():
         "telemetry",
         "serving",
         "fleet",
+        "fleet_observability",
     }
     assert np.isfinite(encoded["clustering_fit"]["max_abs_diff"])
     assert encoded["serving"]["speedup_batch32"] > 0
     assert encoded["fleet"]["consistent_response_counts"] is True
     assert encoded["fleet"]["gate"] == FLEET_SCALING_GATE
+    observability = encoded["fleet_observability"]
+    assert observability["gate_pct"] == 3.0
+    assert observability["aggregate_ms"] > 0
+    assert observability["merged_series"] > 0

@@ -35,7 +35,11 @@ closes the loop *without* taking serving down:
 
 Everything the worker does is observable: ``maintenance_*`` run-log
 events (see :mod:`repro.telemetry.runlog`) and ``maintenance_refit_*``
-/ ``maintenance_swap_*`` metrics.
+/ ``maintenance_swap_*`` metrics.  Every job mints a ``trace_id`` that
+is stamped on all of its events (refit attempts, shadow verdicts, the
+swap, and any later rollback of that swap), so one grep over the run
+log reconstructs a job end to end — the maintenance-side counterpart
+of the serving plane's request traces (``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -56,6 +60,7 @@ from repro.maintenance.repair import (
     phase_candidates,
 )
 from repro.robustness.chaos import ChaosError, ChaosSpec
+from repro.telemetry.context import new_id
 from repro.telemetry.drift import DriftConfig, DriftMonitor
 from repro.telemetry.runlog import NULL_LOGGER
 
@@ -199,6 +204,11 @@ class MaintenanceWorker:
         # Rollback watch (guarded by ``_watch_lock``).
         self._watch_lock = threading.Lock()
         self._watch: dict | None = None
+
+        # Trace id of the job currently (or last) executing; stamped on
+        # every maintenance event via ``_event``.  Jobs are serialized
+        # (one in flight), so a plain field suffices.
+        self._job_trace = ""
 
         self._state = "idle"
         self._refit_attempts = 0  # lifetime counter, drives chaos schedule
@@ -354,7 +364,7 @@ class MaintenanceWorker:
                     # catches host-side swap failures (e.g. a router
                     # shutting down) so the loop keeps serving alarms.
                     self.stats_counters["jobs_failed"] += 1
-                    self.run_logger.event(
+                    self._event(
                         "maintenance_job", trigger=trigger,
                         status="failed", error=repr(error),
                     )
@@ -387,12 +397,13 @@ class MaintenanceWorker:
         candidate survives the shadow gate.
         """
         self.stats_counters["jobs_started"] += 1
+        self._job_trace = new_id()
         if self.tracer is not None:
             with self.tracer.span("maintenance_job"):
                 result = self._run_job(trigger)
         else:
             result = self._run_job(trigger)
-        self.run_logger.event(
+        self._event(
             "maintenance_job", trigger=trigger, status=result["status"],
             **{k: v for k, v in result.items() if k != "status"},
         )
@@ -458,7 +469,7 @@ class MaintenanceWorker:
             self._set_state("shadowing")
             candidate_score = scorer.score(candidate, inputs, targets)
             accepted = candidate_score <= live_score * (1.0 - config.shadow_margin)
-            self.run_logger.event(
+            self._event(
                 "maintenance_shadow",
                 candidate_score=candidate_score,
                 live_score=live_score,
@@ -475,7 +486,7 @@ class MaintenanceWorker:
                 continue
             self.stats_counters["jobs_rejected"] += 1
             self._counter("maintenance_swap_total", {"outcome": "rejected"})
-            self.run_logger.event(
+            self._event(
                 "swap_rejected",
                 candidate_score=candidate_score,
                 live_score=live_score,
@@ -512,6 +523,7 @@ class MaintenanceWorker:
         live = self.model.prototype_values()
         if live is None:
             return {"status": "skipped", "reason": "prototype-free mixer"}
+        self._job_trace = new_id()
         config = self.model.config
         scorer = ShadowScorer(self.model.snapshot(), self.config.shadow_metric)
         _, inputs, targets, _ = build_job_data(
@@ -529,7 +541,7 @@ class MaintenanceWorker:
             accepted = candidate_score <= live_score * (
                 1.0 - self.config.shadow_margin
             )
-            self.run_logger.event(
+            self._event(
                 "maintenance_shadow",
                 candidate_score=candidate_score,
                 live_score=live_score,
@@ -543,7 +555,7 @@ class MaintenanceWorker:
                 self._counter(
                     "maintenance_swap_total", {"outcome": "rejected"}
                 )
-                self.run_logger.event(
+                self._event(
                     "swap_rejected",
                     candidate_score=candidate_score,
                     live_score=live_score,
@@ -556,7 +568,7 @@ class MaintenanceWorker:
                     "live_score": live_score,
                 }
         self._install(candidate, mode="proposed", retired=live, scorer=scorer)
-        self.run_logger.event(
+        self._event(
             "maintenance_job", trigger=trigger, status="swapped", mode="proposed"
         )
         self.stats_counters["jobs_swapped"] += 1
@@ -628,7 +640,7 @@ class MaintenanceWorker:
                 holder["abandoned"] = True
                 return None
             if finished and holder["error"] is None:
-                self.run_logger.event(
+                self._event(
                     "maintenance_refit",
                     attempt=attempt, mode=mode, status="ok",
                     retry=retry, elapsed_s=round(elapsed, 4),
@@ -641,7 +653,7 @@ class MaintenanceWorker:
             else:
                 holder["abandoned"] = True
                 status, detail = "timeout", f"abandoned after {elapsed:.2f}s"
-            self.run_logger.event(
+            self._event(
                 "maintenance_refit",
                 attempt=attempt, mode=mode, status=status,
                 retry=retry, detail=detail,
@@ -746,7 +758,7 @@ class MaintenanceWorker:
         with self._monitor_lock:
             self.monitor.reset()
         self._counter("maintenance_swap_total", {"outcome": "accepted"})
-        self.run_logger.event(
+        self._event(
             "maintenance_swap",
             mode=mode,
             prototype_version=int(self.model.prototype_version),
@@ -758,6 +770,9 @@ class MaintenanceWorker:
                     "remaining": self.config.rollback_window,
                     "since_check": 0,
                     "scorer": scorer,
+                    # A rollback undoes *this* swap: its event carries
+                    # the swapping job's trace id, not a fresh one.
+                    "trace": self._job_trace,
                 }
                 self._set_state("watching")
             else:
@@ -808,6 +823,7 @@ class MaintenanceWorker:
             retired = watch["retired"]
             scorer = watch["scorer"]
             expired = watch["remaining"] <= 0
+            watch_trace = watch.get("trace") or new_id()
         model_config = self.model.config
         _, inputs, targets, _ = build_job_data(
             self.history.snapshot(),
@@ -839,6 +855,7 @@ class MaintenanceWorker:
                 ),
                 current_score=current_score,
                 retired_score=retired_score,
+                trace_id=watch_trace,
             )
             self._set_state("idle")
             return {
@@ -886,6 +903,12 @@ class MaintenanceWorker:
                 "maintenance_state",
                 help="0=idle 1=refitting 2=shadowing 3=watching",
             ).set(self._STATE_CODES[state])
+
+    def _event(self, kind: str, **fields) -> None:
+        """Emit one run event, stamped with the active job's trace id."""
+        if self._job_trace:
+            fields.setdefault("trace_id", self._job_trace)
+        self.run_logger.event(kind, **fields)
 
     def _counter(self, name: str, labels: dict | None = None) -> None:
         if self.registry is not None:

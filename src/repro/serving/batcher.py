@@ -36,6 +36,7 @@ from repro.core.model import FOCUSForecaster
 from repro.robustness.fallback import persistence_forecast, seasonal_naive_forecast
 from repro.serving.cache import ForecastCache
 from repro.serving.session import EntitySession
+from repro.telemetry.context import record_stage
 
 #: Histogram bounds for batch sizes (powers of two up to 256).
 BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
@@ -52,6 +53,8 @@ class ForecastResponse:
     ``ring_version`` is the entity's ring version the forecast was
     computed against; ``batch_size`` the number of windows in the
     executed forward (0 when no forward ran for this response).
+    ``request_id`` echoes the :class:`~repro.telemetry.RequestContext`
+    the request was traced under ("" when tracing is off).
     """
 
     entity: str
@@ -59,6 +62,7 @@ class ForecastResponse:
     source: str
     ring_version: int
     batch_size: int = 0
+    request_id: str = ""
 
 
 class MicroBatcher:
@@ -73,6 +77,7 @@ class MicroBatcher:
         telemetry=None,
         run_logger=None,
         health=None,
+        process_name: str = "server",
     ):
         if fallback not in ("persistence", "seasonal"):
             raise ValueError(
@@ -87,6 +92,9 @@ class MicroBatcher:
         self.seasonal_period = seasonal_period
         self._run_logger = run_logger
         self._health = health
+        # Stamped on trace spans so merged cross-process traces name the
+        # process that ran each stage ("server", "shard-0", ...).
+        self.process_name = process_name
         # Pre-resolved instrument handles (None when telemetry is off) so
         # the batch path never takes the registry lock.
         self._instruments = None
@@ -130,12 +138,21 @@ class MicroBatcher:
         return persistence_forecast(window, horizon)
 
     def forecast_sessions(
-        self, sessions: list[EntitySession]
+        self,
+        sessions: list[EntitySession],
+        contexts: dict | None = None,
+        trace: list | None = None,
     ) -> list[ForecastResponse]:
         """Snapshot and answer one forecast request per session.
 
         Raises ``RuntimeError`` if any session lacks a full lookback
         window (mirroring ``StreamingFOCUS.forecast``).
+
+        ``contexts`` maps entity ids to their
+        :class:`~repro.telemetry.RequestContext` (stamped onto the
+        responses as ``request_id``); ``trace`` is a mutable list the
+        batch's :class:`~repro.telemetry.StageSpan` records are appended
+        to.  Both default to off — the untraced path is unchanged.
         """
         requests = []
         for session in sessions:
@@ -147,10 +164,13 @@ class MicroBatcher:
                         f"have {session.ring.filled}"
                     )
                 requests.append((session, session.ring.window(), session.ring.version))
-        return self.execute(requests)
+        return self.execute(requests, contexts=contexts, trace=trace)
 
     def execute(
-        self, requests: list[tuple[EntitySession, np.ndarray, int]]
+        self,
+        requests: list[tuple[EntitySession, np.ndarray, int]],
+        contexts: dict | None = None,
+        trace: list | None = None,
     ) -> list[ForecastResponse]:
         """Answer pre-snapshotted ``(session, window, version)`` requests."""
         if not requests:
@@ -160,7 +180,15 @@ class MicroBatcher:
         instruments = self._instruments
         responses: list[ForecastResponse | None] = [None] * len(requests)
 
+        def request_id(entity: str) -> str:
+            if contexts is None:
+                return ""
+            context = contexts.get(entity)
+            return context.request_id if context is not None else ""
+
         # Phase 1: cache, and dedup identical (entity, version) requests.
+        lookup_wall = time.time()
+        lookup_started = time.perf_counter()
         pending: list[int] = []  # request indices needing a forward
         computed: dict[tuple[str, int], int] = {}  # (entity, version) -> request idx
         duplicates: list[tuple[int, int]] = []  # (dup idx, primary idx)
@@ -175,7 +203,8 @@ class MicroBatcher:
                 )
                 if cached is not None:
                     responses[index] = ForecastResponse(
-                        session.entity_id, cached, "cache", version
+                        session.entity_id, cached, "cache", version,
+                        request_id=request_id(session.entity_id),
                     )
                     with session.lock:
                         session.stats.forecasts += 1
@@ -188,11 +217,23 @@ class MicroBatcher:
                     instruments["cache_miss"].inc()
             computed[key] = index
             pending.append(index)
+        if self.cache is not None:
+            record_stage(
+                trace, "cache_lookup", time.perf_counter() - lookup_started,
+                started=lookup_wall, process=self.process_name,
+            )
 
         # Phase 2: one batched forward for everything the cache missed.
         if pending:
+            batch_wall = time.time()
             started = time.perf_counter()
             windows = np.stack([requests[i][1] for i in pending])
+            assembled = time.perf_counter()
+            record_stage(
+                trace, "batch_assembly", assembled - started,
+                started=batch_wall, process=self.process_name,
+            )
+            forward_wall = time.time()
             failure = None
             predictions = None
             finite = None
@@ -201,6 +242,10 @@ class MicroBatcher:
                 finite = np.isfinite(predictions).all(axis=(1, 2))
             except Exception as error:  # noqa: BLE001 — serving must not crash
                 failure = f"model forward raised {type(error).__name__}: {error}"
+            record_stage(
+                trace, "forward", time.perf_counter() - assembled,
+                started=forward_wall, process=self.process_name,
+            )
             latency = time.perf_counter() - started
             batch_size = len(pending)
             # Re-read the prototype version *after* the forward: a
@@ -233,7 +278,8 @@ class MicroBatcher:
                             failure or "non-finite model output"
                         )
                 responses[index] = ForecastResponse(
-                    session.entity_id, forecast, source, version, batch_size
+                    session.entity_id, forecast, source, version, batch_size,
+                    request_id=request_id(session.entity_id),
                 )
                 with session.lock:
                     session.stats.forecasts += 1
@@ -247,12 +293,20 @@ class MicroBatcher:
                 instruments["batch_size"].observe(batch_size)
                 instruments["latency"].observe(latency)
             if self._run_logger is not None:
+                extra = {}
+                if contexts is not None:
+                    # The batch's share of each trace: which requests rode
+                    # this forward (optional key — schema v1 unchanged).
+                    extra["request_ids"] = [
+                        request_id(requests[i][0].entity_id) for i in pending
+                    ]
                 self._run_logger.event(
                     "serve_batch",
                     size=batch_size,
                     latency_ms=round(latency * 1e3, 4),
                     cached=len(requests) - batch_size - len(duplicates),
                     failed=failure is not None,
+                    **extra,
                 )
 
         # Phase 3: resolve duplicates from their primary's answer.
@@ -265,6 +319,7 @@ class MicroBatcher:
                 answer.source,
                 answer.ring_version,
                 answer.batch_size,
+                request_id=request_id(answer.entity),
             )
             with session.lock:
                 session.stats.forecasts += 1

@@ -60,9 +60,19 @@ from multiprocessing import get_context, shared_memory
 import numpy as np
 
 from repro.core.model import FOCUSForecaster
-from repro.robustness.health import NAN_POLICIES
+from repro.robustness.health import NAN_POLICIES, HealthMonitor
 from repro.serving.batcher import ForecastResponse
 from repro.serving.server import ForecastServer, ServingConfig
+from repro.telemetry.aggregate import FleetAggregator, registry_snapshot
+from repro.telemetry.context import (
+    RequestTrace,
+    StageSpan,
+    TraceBuffer,
+    mint_context,
+    record_stage,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.slo import SloConfig, SloMonitor, response_ok
 
 __all__ = [
     "FleetConfig",
@@ -117,6 +127,10 @@ class FleetConfig:
     record_events: bool = False
     call_timeout: float = 60.0
     limit_worker_blas: bool = True
+    trace: bool = False
+    trace_keep: int = 256
+    slo: SloConfig | None = None
+    metrics_every_s: float = 0.0
 
     def __post_init__(self):
         if self.shards < 1:
@@ -129,6 +143,8 @@ class FleetConfig:
             raise ValueError(
                 f"unknown nan_policy {self.nan_policy!r}; choose from {NAN_POLICIES}"
             )
+        if self.metrics_every_s < 0:
+            raise ValueError("metrics_every_s must be non-negative")
 
 
 @contextmanager
@@ -351,7 +367,17 @@ class _ShardWorker:
         self.shard = spec["shard"]
         self.model = FOCUSForecaster.from_snapshot(spec["snapshot"])
         serving = spec["serving"]
-        self.server = ForecastServer(self.model, ServingConfig(**serving))
+        # A process-local registry when the router runs instrumented:
+        # its cumulative snapshots ship to the router-side
+        # FleetAggregator over the control channel.
+        self.registry = MetricsRegistry() if spec.get("telemetry") else None
+        self.server = ForecastServer(
+            self.model, ServingConfig(**serving), telemetry=self.registry
+        )
+        # Cross-process trace spans name the process that ran the stage.
+        self.process_name = f"shard-{self.shard}"
+        self.server.process_name = self.process_name
+        self.server.batcher.process_name = self.process_name
         self.bank = PrototypeBank(
             spec["num_prototypes"], spec["segment_length"],
             name=spec["bank"], create=False,
@@ -389,9 +415,34 @@ class _ShardWorker:
             entity_id, block = payload
             return self.server.observe_many(entity_id, block)
         if command == "forecast_many":
-            entity_ids, advertised = payload
+            entity_ids, advertised, contexts_wire = payload
+            arrived = time.time()
             self.sync_bank(advertised)
-            return self.server.forecast_many(entity_ids)
+            if contexts_wire is None:
+                return self.server.forecast_many(entity_ids)
+            from repro.telemetry.context import RequestContext
+
+            contexts = {
+                entity: RequestContext.from_wire(data)
+                for entity, data in contexts_wire.items()
+            }
+            spans: list = []
+            # Queue wait: router dispatch stamp -> this handler (pipe
+            # transfer + unpickling + time queued behind other commands).
+            dispatch = min(
+                (context.dispatch_ts for context in contexts.values()), default=0.0
+            )
+            if dispatch:
+                record_stage(
+                    spans, "queue_wait", arrived - dispatch,
+                    started=dispatch, process=self.process_name,
+                )
+            responses = self.server.forecast_many(
+                entity_ids, contexts=contexts, trace=spans
+            )
+            return responses, [span.to_wire() for span in spans]
+        if command == "metrics":
+            return None if self.registry is None else registry_snapshot(self.registry)
         if command == "replay":
             streams, order, forecast_every, warmup, advertised = payload
             self.sync_bank(advertised)
@@ -613,7 +664,33 @@ class ShardRouter:
                 "epoch": telemetry.gauge(
                     "serve_fleet_prototype_epoch", help="advertised prototype epoch"
                 ),
+                "health": telemetry.gauge(
+                    "serve_health_state", help="0=HEALTHY 1=DEGRADED 2=FAILED"
+                ),
             }
+        # Observability plane: fleet-level health (worker deaths, SLO
+        # budget burn), merged per-shard metrics, cross-process traces.
+        self.health = HealthMonitor(
+            on_transition=self._on_health_transition
+            if (telemetry is not None or run_logger is not None)
+            else None,
+        )
+        self.aggregator = FleetAggregator()
+        self.trace_buffer = (
+            TraceBuffer(self.config.trace_keep) if self.config.trace else None
+        )
+        self.slo = (
+            SloMonitor(
+                self.config.slo,
+                telemetry=telemetry,
+                run_logger=run_logger,
+                health=self.health,
+            )
+            if self.config.slo is not None
+            else None
+        )
+        self._metrics_stop = threading.Event()
+        self._metrics_thread: threading.Thread | None = None
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> "ShardRouter":
@@ -639,6 +716,7 @@ class ShardRouter:
             "seasonal_period": self.config.seasonal_period,
             "record_events": self.config.record_events,
         }
+        worker_telemetry = self._telemetry is not None
         ctx = get_context("spawn")
         with _worker_env(self.config.limit_worker_blas):
             for shard in range(self.config.shards):
@@ -651,6 +729,7 @@ class ShardRouter:
                     "segment_length": cfg.segment_length,
                     "epoch": self._epoch,
                     "serving": serving,
+                    "telemetry": worker_telemetry,
                 }
                 process = ctx.Process(
                     target=_worker_main,
@@ -674,12 +753,21 @@ class ShardRouter:
             self._instruments["epoch"].set(self._epoch)
         if self._run_logger is not None:
             self._run_logger.event("fleet_start", shards=self.config.shards)
+        if self.config.metrics_every_s > 0 and worker_telemetry:
+            self._metrics_thread = threading.Thread(
+                target=self._metrics_loop, name="fleet-metrics", daemon=True
+            )
+            self._metrics_thread.start()
         return self
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
+        self._metrics_stop.set()
+        if self._metrics_thread is not None:
+            self._metrics_thread.join(timeout=10.0)
+            self._metrics_thread = None
         for handle in self._workers.values():
             handle.closing = True
             if handle.alive:
@@ -715,6 +803,22 @@ class ShardRouter:
             self._instruments["alive"].set(alive)
         if self._run_logger is not None:
             self._run_logger.event("fleet_worker_dead", shard=shard)
+        self.health.record_failure(f"shard {shard} worker died")
+
+    def _on_health_transition(self, src: str, dst: str, reason: str, tick: int) -> None:
+        if self._telemetry is not None:
+            self._telemetry.counter(
+                "serve_health_transitions_total", labels={"to": dst},
+                help="serving-health state changes",
+            ).inc()
+            self._instruments["health"].set(
+                ForecastServer._HEALTH_LEVELS[dst]
+            )
+        if self._run_logger is not None:
+            self._run_logger.event(
+                "health_transition",
+                **{"from": src, "to": dst, "reason": reason, "tick": tick},
+            )
 
     def alive_shards(self) -> set[int]:
         with self._alive_lock:
@@ -818,13 +922,26 @@ class ShardRouter:
                 self._maintenance.record(entity_id, row)
         return result
 
-    def _fleet_reject(self, entity_id: str, last_row: np.ndarray) -> ForecastResponse:
+    def _fleet_reject(
+        self, entity_id: str, last_row: np.ndarray, context=None
+    ) -> ForecastResponse:
         self.rejected_requests += 1
         if self._instruments is not None:
             self._instruments["rejected"].inc()
         if self._run_logger is not None:
+            extra = {}
+            if context is not None:
+                extra = {"request_id": context.request_id, "trace_id": context.trace_id}
             self._run_logger.event(
-                "serve_reject", entity=entity_id, queue_depth=self.config.max_inflight
+                "serve_reject", entity=entity_id,
+                queue_depth=self.config.max_inflight, **extra,
+            )
+        if self.slo is not None:
+            self.slo.record(
+                max(0.0, time.time() - context.origin_ts) * 1e3
+                if context is not None
+                else 0.0,
+                False,
             )
         horizon = self.model.config.horizon
         return ForecastResponse(
@@ -832,7 +949,69 @@ class ShardRouter:
             np.repeat(last_row[None, :], horizon, axis=0),
             "rejected:fleet",
             -1,  # ring version unknown at the router
+            request_id=context.request_id if context is not None else "",
         )
+
+    def _dispatch_group(self, shard: int, group: list[str], contexts, epoch: int):
+        """Scatter half of one shard's forecast RPC.
+
+        With tracing on, stamps every context's ``dispatch_ts`` and
+        ships the contexts inside the envelope; returns the pending
+        call plus the dispatch stamp the gather half needs.
+        """
+        if contexts is None:
+            pending = self._workers[shard].call_async(
+                "forecast_many", (group, epoch, None)
+            )
+            return pending, None
+        dispatch = time.time()
+        wire = {}
+        for entity_id in group:
+            context = contexts[entity_id]
+            context.dispatch_ts = dispatch
+            wire[entity_id] = context.to_wire()
+        pending = self._workers[shard].call_async(
+            "forecast_many", (group, epoch, wire)
+        )
+        return pending, dispatch
+
+    def _gather_group(
+        self, shard: int, pending, group: list[str], contexts, timeout: float
+    ) -> list[ForecastResponse]:
+        """Gather half: unpack responses, merge worker spans into one
+        cross-process trace per request, and close out observability."""
+        result = self._workers[shard].wait(pending, timeout)
+        if contexts is None:
+            return result
+        responses, span_dicts = result
+        received = time.perf_counter()
+        gather_wall = time.time()
+        worker_spans = [StageSpan.from_wire(data) for data in span_dicts]
+        for entity_id, response in zip(group, responses):
+            context = contexts[entity_id]
+            spans: list[StageSpan] = []
+            record_stage(
+                spans, "router_dispatch",
+                context.dispatch_ts - context.origin_ts,
+                started=context.origin_ts, process="router",
+            )
+            spans.extend(worker_spans)
+            record_stage(
+                spans, "gather", time.perf_counter() - received,
+                started=gather_wall, process="router",
+            )
+            trace = RequestTrace(
+                context, spans, max(0.0, time.time() - context.origin_ts)
+            )
+            if self.trace_buffer is not None:
+                self.trace_buffer.record(trace)
+            if self._run_logger is not None:
+                self._run_logger.event("serve_trace", **trace.event_payload())
+            if self.slo is not None:
+                self.slo.record(
+                    trace.total_seconds * 1e3, response_ok(response.source)
+                )
+        return responses
 
     def forecast(self, entity_id: str, timeout: float | None = None) -> ForecastResponse:
         """One forecast via the owning shard (micro-batched worker-side).
@@ -846,35 +1025,110 @@ class ShardRouter:
         """
         handle = self._handle_for(entity_id)
         timeout = self.config.call_timeout if timeout is None else timeout
+        contexts = (
+            {entity_id: mint_context(entity_id)} if self.config.trace else None
+        )
         with self._last_row_lock:
             last_row = self._last_row.get(entity_id)
         if handle.inflight >= self.config.max_inflight and last_row is not None:
-            return self._fleet_reject(entity_id, last_row)
+            return self._fleet_reject(
+                entity_id, last_row,
+                contexts[entity_id] if contexts is not None else None,
+            )
+        started = time.perf_counter()
         handle.inflight += 1
         try:
-            responses = handle.call(
-                "forecast_many", ([entity_id], self.prototype_epoch), timeout
+            pending, _dispatch = self._dispatch_group(
+                handle.shard, [entity_id], contexts, self.prototype_epoch
+            )
+            responses = self._gather_group(
+                handle.shard, pending, [entity_id], contexts, timeout
             )
         finally:
             handle.inflight -= 1
+        if self.slo is not None and contexts is None:
+            self.slo.record(
+                (time.perf_counter() - started) * 1e3,
+                response_ok(responses[0].source),
+            )
         return responses[0]
 
     def forecast_many(self, entity_ids: list[str]) -> list[ForecastResponse]:
-        """Scatter-gather: one batched forward per owning shard."""
+        """Scatter-gather: one batched forward per owning shard.
+
+        With ``config.trace`` set, every request carries a
+        :class:`~repro.telemetry.RequestContext` through the RPC
+        envelope; worker-side spans merge with the router's dispatch and
+        gather spans into one cross-process trace per request.
+        """
         self._require_started()
         alive = self.alive_shards()
         groups = self.ring.partition(entity_ids, alive)
         epoch = self.prototype_epoch
+        contexts = (
+            {entity_id: mint_context(entity_id) for entity_id in entity_ids}
+            if self.config.trace
+            else None
+        )
+        started = time.perf_counter()
         calls = {
-            shard: self._workers[shard].call_async("forecast_many", (group, epoch))
+            shard: self._dispatch_group(shard, group, contexts, epoch)[0]
             for shard, group in groups.items()
         }
         by_entity: dict[str, ForecastResponse] = {}
         for shard, pending in calls.items():
-            responses = self._workers[shard].wait(pending, self.config.call_timeout)
+            responses = self._gather_group(
+                shard, pending, groups[shard], contexts, self.config.call_timeout
+            )
             for response in responses:
                 by_entity[response.entity] = response
+        if self.slo is not None and contexts is None:
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+            for entity_id in entity_ids:
+                self.slo.record(
+                    elapsed_ms, response_ok(by_entity[entity_id].source)
+                )
         return [by_entity[entity_id] for entity_id in entity_ids]
+
+    # -- metrics aggregation -----------------------------------------------
+    def collect_metrics(self, timeout: float = 10.0) -> FleetAggregator:
+        """Pull a cumulative registry snapshot from every live worker.
+
+        Snapshots ingest into the router's :class:`FleetAggregator`
+        (idempotently — they are cumulative, not deltas); dead or
+        unresponsive shards keep their last snapshot, so a crashed
+        worker's final counters stay in the merged view.
+        """
+        self._require_started()
+        calls = {
+            shard: handle.call_async("metrics", None)
+            for shard, handle in self._workers.items()
+            if handle.alive
+        }
+        for shard, pending in calls.items():
+            try:
+                snapshot = self._workers[shard].wait(pending, timeout)
+            except (FleetError, TimeoutError):  # pragma: no cover — death race
+                continue
+            if snapshot is not None:
+                self.aggregator.ingest(shard, snapshot)
+        return self.aggregator
+
+    def merged_registry(self) -> "MetricsRegistry":
+        """One registry covering the whole fleet: fresh worker snapshots
+        under ``shard`` labels plus the router's own instruments
+        (fleet gauges, SLO state, ``maintenance_state``) unlabelled —
+        the registry ``write_prometheus`` turns into the single
+        ``metrics.prom`` of a fleet run."""
+        self.collect_metrics()
+        return self.aggregator.merged(base=self._telemetry)
+
+    def _metrics_loop(self) -> None:
+        while not self._metrics_stop.wait(self.config.metrics_every_s):
+            try:
+                self.collect_metrics()
+            except (FleetError, TimeoutError):  # pragma: no cover — shutdown race
+                continue
 
     # -- introspection -----------------------------------------------------
     def stats(self) -> dict:
@@ -922,6 +1176,9 @@ class ShardRouter:
                 ).set(stats.get("entities", 0))
         totals["alive_workers"] = len(self.alive_shards())
         totals["prototype_epoch"] = self.prototype_epoch
+        totals["health"] = self.health.state.value
+        if self.slo is not None:
+            totals["slo"] = self.slo.snapshot()
         totals["shards"] = per_shard
         return totals
 

@@ -43,11 +43,26 @@ from repro.robustness.health import NAN_POLICIES, HealthMonitor, HealthState
 from repro.serving.batcher import ForecastResponse, MicroBatcher
 from repro.serving.cache import ForecastCache
 from repro.serving.session import EntitySessionStore
+from repro.telemetry.context import (
+    RequestTrace,
+    TraceBuffer,
+    mint_context,
+    record_stage,
+)
+from repro.telemetry.slo import SloConfig, SloMonitor, response_ok
 
 
 @dataclasses.dataclass
 class ServingConfig:
-    """Knobs of the serving layer (see ``docs/api.md``)."""
+    """Knobs of the serving layer (see ``docs/api.md``).
+
+    ``trace=True`` mints a :class:`~repro.telemetry.RequestContext` per
+    request and records per-stage spans (queue wait, cache lookup,
+    batch assembly, forward) into a bounded :class:`TraceBuffer` plus
+    ``serve_trace`` run events; ``slo`` attaches a rolling-window
+    :class:`~repro.telemetry.SloMonitor` whose violations degrade the
+    server's :class:`~repro.robustness.health.HealthMonitor`.
+    """
 
     max_batch: int = 32
     max_delay_ms: float = 2.0
@@ -60,6 +75,9 @@ class ServingConfig:
     fail_threshold: int = 5
     recover_after: int = 3
     record_events: bool = False
+    trace: bool = False
+    trace_keep: int = 256
+    slo: SloConfig | None = None
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -77,12 +95,14 @@ class ServingConfig:
 class _QueuedRequest:
     """One in-flight forecast request (a minimal future)."""
 
-    __slots__ = ("session", "done", "response")
+    __slots__ = ("session", "done", "response", "context", "submitted")
 
     def __init__(self, session):
         self.session = session
         self.done = threading.Event()
         self.response: ForecastResponse | None = None
+        self.context = None  # RequestContext when tracing is enabled
+        self.submitted = time.perf_counter()
 
     def resolve(self, response: ForecastResponse) -> None:
         self.response = response
@@ -133,6 +153,23 @@ class ForecastServer:
             telemetry=telemetry,
             run_logger=run_logger,
             health=self.health,
+        )
+        # Observability plane: per-request traces + SLO tracking.  The
+        # process name stamps trace spans ("server" locally, "shard-N"
+        # inside a fleet worker, which overrides it after construction).
+        self.process_name = "server"
+        self.trace_buffer = (
+            TraceBuffer(self.config.trace_keep) if self.config.trace else None
+        )
+        self.slo = (
+            SloMonitor(
+                self.config.slo,
+                telemetry=telemetry,
+                run_logger=run_logger,
+                health=self.health,
+            )
+            if self.config.slo is not None
+            else None
         )
         self._cond = threading.Condition()
         self._queue: deque[_QueuedRequest] = deque()
@@ -258,6 +295,8 @@ class ForecastServer:
                 f"observations, have {session.ring.filled}"
             )
         request = _QueuedRequest(session)
+        if self.config.trace:
+            request.context = mint_context(entity_id)
         with self._cond:
             depth = len(self._queue)
             if depth < self.config.queue_capacity:
@@ -289,21 +328,57 @@ class ForecastServer:
             )
         return request.response
 
-    def forecast_many(self, entity_ids: list[str]) -> list[ForecastResponse]:
+    def forecast_many(
+        self,
+        entity_ids: list[str],
+        contexts: dict | None = None,
+        trace: list | None = None,
+    ) -> list[ForecastResponse]:
         """Answer one forecast per entity as a single synchronous batch.
 
-        Bypasses the queue: used by the replay CLI, benchmarks, and the
-        deterministic test suites.  Batches of more than ``max_batch``
-        windows are split.
+        Bypasses the queue: used by the replay CLI, benchmarks, the
+        deterministic test suites, and the fleet workers.  Batches of
+        more than ``max_batch`` windows are split.
+
+        Tracing modes: with ``contexts``/``trace`` provided (the fleet
+        worker path), request ids are stamped and stage spans appended
+        to ``trace`` — the *caller* owns trace assembly.  Otherwise,
+        when ``config.trace`` is set, contexts are minted here and the
+        completed traces recorded locally (buffer + ``serve_trace``
+        events + SLO feed).
         """
         sessions = [self.store.session(entity_id) for entity_id in entity_ids]
+        external = contexts is not None or trace is not None
         responses: list[ForecastResponse] = []
         for start in range(0, len(sessions), self.config.max_batch):
-            responses.extend(
-                self.batcher.forecast_sessions(
-                    sessions[start : start + self.config.max_batch]
+            chunk = sessions[start : start + self.config.max_batch]
+            if external:
+                responses.extend(
+                    self.batcher.forecast_sessions(chunk, contexts=contexts, trace=trace)
                 )
+                continue
+            if not self.config.trace and self.slo is None:
+                responses.extend(self.batcher.forecast_sessions(chunk))
+                continue
+            chunk_contexts = None
+            spans = None
+            if self.config.trace:
+                chunk_contexts = {
+                    session.entity_id: mint_context(session.entity_id)
+                    for session in chunk
+                }
+                spans = []
+            started = time.perf_counter()
+            chunk_responses = self.batcher.forecast_sessions(
+                chunk, contexts=chunk_contexts, trace=spans
             )
+            total = time.perf_counter() - started
+            responses.extend(chunk_responses)
+            for response in chunk_responses:
+                context = (
+                    chunk_contexts.get(response.entity) if chunk_contexts else None
+                )
+                self._finish_request(context, spans, total, response.source)
         return responses
 
     def drain(self) -> int:
@@ -319,6 +394,20 @@ class ForecastServer:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _finish_request(
+        self, context, spans: list | None, total_seconds: float, source: str
+    ) -> None:
+        """Close out one answered request's observability obligations:
+        record its merged trace and feed the SLO monitor."""
+        if context is not None:
+            trace = RequestTrace(context, list(spans or ()), total_seconds)
+            if self.trace_buffer is not None:
+                self.trace_buffer.record(trace)
+            if self._run_logger is not None:
+                self._run_logger.event("serve_trace", **trace.event_payload())
+        if self.slo is not None:
+            self.slo.record(total_seconds * 1e3, response_ok(source))
+
     def _reject(self, request: _QueuedRequest, queue_depth: int) -> None:
         """Admission control: answer from the fallback, never queue.
 
@@ -338,19 +427,31 @@ class ForecastServer:
         self.rejected_requests += 1
         if self._instruments is not None:
             self._instruments["rejected"].inc()
+        context = request.context
         if self._run_logger is not None:
+            extra = {}
+            if context is not None:
+                extra = {"request_id": context.request_id, "trace_id": context.trace_id}
             self._run_logger.event(
                 "serve_reject",
                 entity=session.entity_id,
                 queue_depth=queue_depth,
+                **extra,
             )
+        source = f"rejected:{self.config.fallback}"
         request.resolve(
             ForecastResponse(
                 session.entity_id,
                 forecast,
-                f"rejected:{self.config.fallback}",
+                source,
                 version,
+                request_id=context.request_id if context is not None else "",
             )
+        )
+        # A shed request still burns error budget: its latency is the
+        # fallback's, its outcome degraded.
+        self._finish_request(
+            None, None, time.perf_counter() - request.submitted, source
         )
 
     def _take_batch(self, wait: bool = True) -> list[_QueuedRequest]:
@@ -379,9 +480,24 @@ class ForecastServer:
             return batch
 
     def _serve_batch(self, batch: list[_QueuedRequest]) -> None:
+        contexts = None
+        spans = None
+        taken = time.perf_counter()
+        if self.config.trace:
+            contexts = {
+                request.session.entity_id: request.context
+                for request in batch
+                if request.context is not None
+            }
+            spans = []
+        sessions = [request.session for request in batch]
         try:
-            responses = self.batcher.forecast_sessions(
-                [request.session for request in batch]
+            # Positional-only when untraced: test doubles and wrappers
+            # that shadow forecast_sessions(sessions) keep working.
+            responses = (
+                self.batcher.forecast_sessions(sessions, contexts, spans)
+                if self.config.trace
+                else self.batcher.forecast_sessions(sessions)
             )
         except Exception:  # pragma: no cover — defensive: never strand waiters
             depth = self.queue_depth  # snapshot under _cond, once per batch
@@ -389,8 +505,24 @@ class ForecastServer:
                 if not request.done.is_set():
                     self._reject(request, queue_depth=depth)
             return
+        done = time.perf_counter()
         for request, response in zip(batch, responses):
             request.resolve(response)
+            if self.config.trace or self.slo is not None:
+                # Each request's trace: its own queue wait followed by
+                # the batch-shared stages it rode.
+                own = None
+                if request.context is not None:
+                    own = []
+                    record_stage(
+                        own, "queue_wait", taken - request.submitted,
+                        started=request.context.origin_ts,
+                        process=self.process_name,
+                    )
+                    own.extend(spans or ())
+                self._finish_request(
+                    request.context, own, done - request.submitted, response.source
+                )
 
     def _worker(self) -> None:
         while True:
@@ -446,6 +578,8 @@ class ForecastServer:
         totals["health"] = self.health.state.value
         if self.cache is not None:
             totals["cache_hit_rate"] = round(self.cache.hit_rate, 4)
+        if self.slo is not None:
+            totals["slo"] = self.slo.snapshot()
         return totals
 
 

@@ -20,13 +20,28 @@ monitor`` CLI).  See ``docs/observability.md`` for the metric and
 event taxonomy.
 """
 
+from repro.telemetry.aggregate import FleetAggregator, registry_snapshot
+from repro.telemetry.context import (
+    STAGES,
+    RequestContext,
+    RequestTrace,
+    StageSpan,
+    TraceBuffer,
+    format_trace,
+    mint_context,
+    record_stage,
+)
 from repro.telemetry.drift import (
     DriftConfig,
     DriftMonitor,
     assignment_entropy,
     total_variation,
 )
-from repro.telemetry.exporter import render_prometheus, write_prometheus
+from repro.telemetry.exporter import (
+    parse_prometheus,
+    render_prometheus,
+    write_prometheus,
+)
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -36,7 +51,13 @@ from repro.telemetry.metrics import (
     TrainingInstruments,
     exponential_buckets,
 )
-from repro.telemetry.monitor import follow_events, summarize_run, validate_run
+from repro.telemetry.monitor import (
+    follow_events,
+    summarize_fleet,
+    summarize_run,
+    summarize_traces,
+    validate_run,
+)
 from repro.telemetry.runlog import (
     EVENT_SCHEMAS,
     NULL_LOGGER,
@@ -47,9 +68,26 @@ from repro.telemetry.runlog import (
     read_events,
     validate_event,
 )
+from repro.telemetry.slo import SloConfig, SloMonitor, response_ok
 from repro.telemetry.tracer import NULL_TRACER, SpanRecord, Tracer
 
 __all__ = [
+    "RequestContext",
+    "RequestTrace",
+    "StageSpan",
+    "TraceBuffer",
+    "STAGES",
+    "mint_context",
+    "record_stage",
+    "format_trace",
+    "FleetAggregator",
+    "registry_snapshot",
+    "SloConfig",
+    "SloMonitor",
+    "response_ok",
+    "parse_prometheus",
+    "summarize_traces",
+    "summarize_fleet",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,142 @@
+"""Fleet-wide metrics aggregation: shard snapshots merged into one registry.
+
+Each shard worker owns a process-local
+:class:`~repro.telemetry.metrics.MetricsRegistry`; Prometheus can only
+scrape the router.  :func:`registry_snapshot` serializes a registry
+into plain picklable data (counter/gauge values, histogram bucket
+tallies) that crosses the worker control channel, and the router-side
+:class:`FleetAggregator` merges the latest snapshot of every shard into
+one registry with a ``shard`` label per series::
+
+    serve_forecasts_total{shard="0",source="model"} 412
+    serve_forecasts_total{shard="1",source="model"} 398
+
+Snapshots are **cumulative**, not deltas: re-ingesting a shard replaces
+its previous snapshot, so aggregation is idempotent — a lost or
+duplicated control message never double-counts.  Router-local
+instruments (fleet gauges, SLO state, ``maintenance_state``) merge in
+unlabelled via the ``base`` registry, so one ``metrics.prom`` covers
+the whole fleet.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def registry_snapshot(registry: MetricsRegistry) -> dict:
+    """Serialize every instrument into plain picklable data."""
+    instruments = []
+    for instrument in registry.collect():
+        spec = {
+            "name": instrument.name,
+            "labels": dict(instrument.labels),
+            "help": instrument.help,
+        }
+        if isinstance(instrument, Counter):
+            spec["kind"] = "counter"
+            spec["value"] = float(instrument.value)
+        elif isinstance(instrument, Gauge):
+            spec["kind"] = "gauge"
+            spec["value"] = float(instrument.value)
+        elif isinstance(instrument, Histogram):
+            spec["kind"] = "histogram"
+            spec["bounds"] = list(instrument.bounds)
+            spec["counts"] = list(instrument.counts)
+            spec["sum"] = float(instrument.sum)
+            spec["count"] = int(instrument.count)
+        else:  # pragma: no cover — registry only creates the three above
+            continue
+        instruments.append(spec)
+    return {"instruments": instruments}
+
+
+def _replay(target: MetricsRegistry, snapshot: dict, extra_labels: dict | None) -> None:
+    """Recreate a snapshot's instruments inside ``target``.
+
+    ``extra_labels`` (the ``shard`` label) is merged into each series'
+    label set; a snapshot that already carries a clashing label keeps
+    the aggregator's value (the merged view must stay addressable by
+    shard).
+    """
+    for spec in snapshot.get("instruments", ()):
+        labels = dict(spec["labels"])
+        if extra_labels:
+            labels.update(extra_labels)
+        kind = spec["kind"]
+        if kind == "counter":
+            counter = target.counter(spec["name"], labels=labels, help=spec["help"])
+            delta = spec["value"] - counter.value
+            if delta > 0:
+                counter.inc(delta)
+        elif kind == "gauge":
+            target.gauge(spec["name"], labels=labels, help=spec["help"]).set(
+                spec["value"]
+            )
+        elif kind == "histogram":
+            histogram = target.histogram(
+                spec["name"],
+                bounds=tuple(spec["bounds"]),
+                labels=labels,
+                help=spec["help"],
+            )
+            with histogram._lock:
+                histogram.counts[:] = [int(c) for c in spec["counts"]]
+                histogram.sum = float(spec["sum"])
+                histogram.count = int(spec["count"])
+        else:
+            raise ValueError(f"unknown instrument kind {kind!r} in snapshot")
+
+
+class FleetAggregator:
+    """Merges per-shard registry snapshots into one fleet registry.
+
+    ``ingest`` stores the latest cumulative snapshot per shard;
+    ``merged`` materializes a fresh registry from those snapshots (each
+    series gaining ``shard=<id>``) plus the optional router-side
+    ``base`` registry, copied unlabelled.  ``merged`` is cheap enough
+    to call per export — the fleet is a handful of shards with tens of
+    series each.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._shards: dict[str, dict] = {}
+
+    def ingest(self, shard: int | str, snapshot: dict) -> None:
+        """Record ``shard``'s latest cumulative snapshot (replaces prior)."""
+        if not isinstance(snapshot, dict) or "instruments" not in snapshot:
+            raise ValueError("snapshot must be a registry_snapshot() dict")
+        with self._lock:
+            self._shards[str(shard)] = snapshot
+
+    def shards(self) -> list[str]:
+        with self._lock:
+            return sorted(self._shards)
+
+    def merged(self, base: MetricsRegistry | None = None) -> MetricsRegistry:
+        """One registry covering the fleet (plus ``base``, unlabelled)."""
+        registry = MetricsRegistry()
+        if base is not None:
+            _replay(registry, registry_snapshot(base), None)
+        with self._lock:
+            shards = dict(self._shards)
+        for shard in sorted(shards):
+            _replay(registry, shards[shard], {"shard": shard})
+        return registry
+
+    def totals(self, name: str, labels: dict | None = None) -> float:
+        """Sum one counter/gauge series value across every shard."""
+        wanted = dict(labels or {})
+        total = 0.0
+        with self._lock:
+            shards = dict(self._shards)
+        for snapshot in shards.values():
+            for spec in snapshot.get("instruments", ()):
+                if spec["name"] != name or spec["kind"] == "histogram":
+                    continue
+                if all(spec["labels"].get(k) == v for k, v in wanted.items()):
+                    total += spec["value"]
+        return total

@@ -30,7 +30,17 @@ def _format_value(value: float) -> str:
 
 
 def _escape(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"')
+    """Escape a label value per the exposition format: backslash, quote,
+    and — crucially — newline, which would otherwise split the series
+    line and corrupt the whole exposition."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escapes backslash and newline (but not quotes)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _label_str(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
@@ -60,7 +70,7 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         if name not in seen_headers:
             seen_headers.add(name)
             if instrument.help:
-                lines.append(f"# HELP {name} {instrument.help}")
+                lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
             lines.append(f"# TYPE {name} {kind}")
         if isinstance(instrument, Histogram):
             cumulative = 0
@@ -86,6 +96,128 @@ def render_prometheus(registry: MetricsRegistry) -> str:
                 f"{name}{_label_str(instrument.labels)} {_format_value(instrument.value)}"
             )
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _unescape(value: str) -> str:
+    out: list[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:
+                raise ValueError(f"invalid escape sequence \\{nxt!r}")
+            index += 2
+            continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+def _parse_labels(body: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    index = 0
+    while index < len(body):
+        end = body.index("=", index)
+        key = body[index:end].strip()
+        if not key.replace("_", "a").isalnum():
+            raise ValueError(f"invalid label name {key!r}")
+        if body[end + 1] != '"':
+            raise ValueError(f"label {key!r}: value must be quoted")
+        index = end + 2
+        raw: list[str] = []
+        while True:
+            if index >= len(body):
+                raise ValueError(f"label {key!r}: unterminated value")
+            char = body[index]
+            if char == "\\":
+                raw.append(body[index : index + 2])
+                index += 2
+                continue
+            if char == '"':
+                break
+            raw.append(char)
+            index += 1
+        labels[key] = _unescape("".join(raw))
+        index += 1  # past the closing quote
+        if index < len(body):
+            if body[index] != ",":
+                raise ValueError(f"expected ',' between labels, got {body[index]!r}")
+            index += 1
+    return labels
+
+
+def parse_prometheus(text: str) -> dict[str, list[tuple[dict[str, str], float]]]:
+    """Parse (and validate) exposition text back into series.
+
+    Returns ``{series_name: [(labels, value), ...]}`` in file order.
+    Strict enough to serve as the CI exposition-format check: unknown
+    TYPE kinds, malformed sample lines, samples without a TYPE header,
+    and non-cumulative histogram buckets all raise :class:`ValueError`.
+    Round-trips :func:`render_prometheus` exactly (the escaping tests
+    in ``tests/telemetry/test_exporter.py`` pin this).
+    """
+    types: dict[str, str] = {}
+    series: dict[str, list[tuple[dict[str, str], float]]] = {}
+    for line_number, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"line {line_number}: malformed TYPE line: {line!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            if not line.startswith("# HELP "):
+                raise ValueError(f"line {line_number}: unknown comment: {line!r}")
+            continue
+        try:
+            if "{" in line:
+                name = line[: line.index("{")]
+                closing = line.rindex("}")
+                labels = _parse_labels(line[line.index("{") + 1 : closing])
+                value_str = line[closing + 1 :].strip()
+            else:
+                name, value_str = line.split(None, 1)
+                labels = {}
+            value = float(value_str)
+        except (ValueError, IndexError) as error:
+            raise ValueError(
+                f"line {line_number}: malformed sample {line!r}: {error}"
+            ) from None
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            stripped = name.removesuffix(suffix)
+            if stripped != name and types.get(stripped) == "histogram":
+                base = stripped
+                break
+        if base not in types:
+            raise ValueError(f"line {line_number}: sample {name!r} has no TYPE header")
+        series.setdefault(name, []).append((labels, value))
+    # Histogram sanity: buckets cumulative and capped by an +Inf bucket.
+    for name, kind in types.items():
+        if kind != "histogram":
+            continue
+        by_series: dict[tuple, list[tuple[float, float]]] = {}
+        for labels, value in series.get(f"{name}_bucket", ()):
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            bound = float("inf") if labels.get("le") == "+Inf" else float(labels["le"])
+            by_series.setdefault(key, []).append((bound, value))
+        for key, buckets in by_series.items():
+            buckets.sort()
+            counts = [count for _, count in buckets]
+            if counts != sorted(counts):
+                raise ValueError(f"histogram {name!r}: buckets not cumulative")
+            if buckets[-1][0] != float("inf"):
+                raise ValueError(f"histogram {name!r}: missing +Inf bucket")
+    return series
 
 
 def write_prometheus(registry: MetricsRegistry, run_dir: str | Path) -> Path:

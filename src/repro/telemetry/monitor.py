@@ -124,9 +124,155 @@ def summarize_run(run_dir: str | Path, last_epochs: int = 8) -> str:
             )
         )
 
+    slo_rows = [
+        {
+            "event": event.get("type"),
+            "objective": event.get("objective"),
+            "value": event.get("value"),
+            "target": event.get("target"),
+        }
+        for event in events
+        if event.get("type") in ("slo_violation", "slo_recovered")
+    ]
+    if slo_rows:
+        sections.append(_format_table(slo_rows, title="SLO transitions"))
+
     prom = run_dir / "metrics.prom"
     if prom.exists():
         sections.append(f"prometheus snapshot: {prom}")
+    return "\n\n".join(sections)
+
+
+def summarize_traces(run_dir: str | Path, last: int = 8) -> str:
+    """Per-request latency decompositions from ``serve_trace`` events.
+
+    Prints the newest ``last`` traces (stage-by-stage, with the owning
+    process) followed by a mean-milliseconds-per-stage table over every
+    trace in the run — the fleet-wide answer to "where does the p99 go".
+    """
+    events = [
+        event
+        for event in read_events(Path(run_dir))
+        if event.get("type") == "serve_trace"
+    ]
+    if not events:
+        return "no serve_trace events (run serving with tracing enabled)"
+    sections: list[str] = []
+    for event in events[-last:]:
+        lines = [
+            f"request {event.get('request_id')}  entity={event.get('entity') or '?'}  "
+            f"trace={event.get('trace_id')}  total={event.get('total_ms')}ms"
+        ]
+        spans = event.get("spans") or []
+        width = max((len(str(span.get("stage"))) for span in spans), default=0)
+        for span in spans:
+            lines.append(
+                f"  {str(span.get('stage')).ljust(width)}  "
+                f"{str(span.get('process', '')):<10}{span.get('ms', 0):9.3f}ms"
+            )
+        sections.append("\n".join(lines))
+    totals: dict[str, list[float]] = {}
+    for event in events:
+        for span in event.get("spans") or []:
+            totals.setdefault(str(span.get("stage")), []).append(
+                float(span.get("ms", 0.0))
+            )
+    rows = [
+        {
+            "stage": stage,
+            "mean_ms": round(sum(values) / len(values), 4),
+            "spans": len(values),
+        }
+        for stage, values in sorted(totals.items())
+    ]
+    sections.append(
+        _format_table(rows, title=f"mean stage latency over {len(events)} traces")
+    )
+    return "\n\n".join(sections)
+
+
+def summarize_fleet(run_dir: str | Path) -> str:
+    """Fleet summary from the merged ``metrics.prom`` + SLO event tallies.
+
+    Requires the merged export a traced fleet run writes (``repro serve
+    --shards N --telemetry-dir <dir>``); shard-labelled series are
+    grouped into one row per shard, followed by fleet-level gauges and
+    the run's SLO transition counts.
+    """
+    from repro.telemetry.exporter import parse_prometheus
+
+    run_dir = Path(run_dir)
+    prom = run_dir / "metrics.prom"
+    if not prom.exists():
+        return f"no metrics.prom in {run_dir} (serve with --telemetry-dir)"
+    series = parse_prometheus(prom.read_text())
+
+    def shard_values(name: str, wanted: dict | None = None) -> dict[str, float]:
+        values: dict[str, float] = {}
+        for labels, value in series.get(name, ()):
+            if "shard" not in labels:
+                continue
+            if wanted and any(labels.get(k) != v for k, v in wanted.items()):
+                continue
+            values[labels["shard"]] = values.get(labels["shard"], 0.0) + value
+        return values
+
+    shards: set[str] = set()
+    for samples in series.values():
+        for labels, _value in samples:
+            if "shard" in labels:
+                shards.add(labels["shard"])
+    sections: list[str] = []
+    if shards:
+        forecasts = shard_values("serve_forecasts_total")
+        model = shard_values("serve_forecasts_total", {"source": "model"})
+        cache = shard_values("serve_forecasts_total", {"source": "cache"})
+        batches = shard_values("serve_batch_seconds_count")
+        rows = [
+            {
+                "shard": shard,
+                "forecasts": int(forecasts.get(shard, 0)),
+                "model": int(model.get(shard, 0)),
+                "cache": int(cache.get(shard, 0)),
+                "batches": int(batches.get(shard, 0)),
+            }
+            for shard in sorted(shards)
+        ]
+        sections.append(_format_table(rows, title=f"fleet of {len(shards)} shards"))
+    gauges = []
+    for name, label in (
+        ("serve_fleet_alive_workers", "alive workers"),
+        ("serve_fleet_prototype_epoch", "prototype epoch"),
+        ("maintenance_state", "maintenance state"),
+        ("slo_latency_p99_ms", "SLO p99 latency (ms)"),
+        ("slo_error_rate", "SLO error rate"),
+        ("slo_budget_burn_rate", "SLO budget burn rate"),
+        ("slo_objectives_violating", "SLO objectives violating"),
+    ):
+        for labels, value in series.get(name, ()):
+            if "shard" not in labels:
+                gauges.append({"gauge": label, "value": round(value, 4)})
+    if gauges:
+        sections.append(_format_table(gauges, title="fleet gauges"))
+    events_path = run_dir / "events.jsonl"
+    if events_path.exists():
+        tallies = TallyCounter(
+            event.get("type")
+            for event in read_events(run_dir)
+            if event.get("type") in ("slo_violation", "slo_recovered")
+        )
+        if tallies:
+            sections.append(
+                _format_table(
+                    [
+                        {"event": kind, "count": count}
+                        for kind, count in sorted(tallies.items())
+                    ],
+                    title="SLO transitions",
+                )
+            )
+    if not sections:
+        return f"metrics.prom in {run_dir} has no shard-labelled series"
     return "\n\n".join(sections)
 
 
@@ -135,6 +281,12 @@ def follow_events(run_dir: str | Path, poll_seconds: float = 0.5, max_polls: int
 
     Starts from the beginning of the file; ``max_polls`` bounds the
     number of empty polls (None = follow until interrupted).
+
+    Tail race: a writer flushes whole lines, but a poll can still land
+    mid-``write`` and read a truncated final line.  Only lines already
+    terminated by a newline are parsed; a trailing partial line stays
+    in the file (the offset is not advanced past it) and is re-read on
+    the next poll once the writer finishes it.
     """
     path = Path(run_dir)
     if path.is_dir():
@@ -146,14 +298,16 @@ def follow_events(run_dir: str | Path, poll_seconds: float = 0.5, max_polls: int
     while True:
         new = []
         if path.exists():
-            with open(path) as handle:
+            with open(path, "rb") as handle:
                 handle.seek(offset)
                 chunk = handle.read()
-                offset = handle.tell()
-            for line in chunk.splitlines():
-                line = line.strip()
-                if line:
-                    new.append(json.loads(line))
+            complete, newline, _partial = chunk.rpartition(b"\n")
+            if newline:
+                offset += len(complete) + 1
+                for line in complete.decode("utf-8").splitlines():
+                    line = line.strip()
+                    if line:
+                        new.append(json.loads(line))
         if new:
             idle = 0
             yield from new

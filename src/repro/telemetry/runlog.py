@@ -58,6 +58,10 @@ EVENT_SCHEMAS: dict[str, tuple[str, ...]] = {
     "swap_rejected": ("candidate_score", "live_score", "margin"),
     "maintenance_swap": ("mode", "prototype_version"),
     "maintenance_rollback": ("reason",),
+    # Fleet observability plane (docs/observability.md).
+    "serve_trace": ("entity", "request_id", "trace_id", "total_ms", "spans"),
+    "slo_violation": ("objective", "value", "target"),
+    "slo_recovered": ("objective", "value", "target"),
 }
 
 

@@ -33,13 +33,16 @@ from collections import deque
 
 @dataclasses.dataclass
 class SpanRecord:
-    """One finished span: dotted path, start time, and duration."""
+    """One finished span: dotted path, start time, duration, and the
+    name of the thread that ran it (so maintenance-thread spans stay
+    distinguishable from serving spans inside one shared tracer)."""
 
     name: str
     path: str
     started: float
     seconds: float
     depth: int
+    thread: str = ""
 
 
 class _Span:
@@ -89,10 +92,25 @@ class Tracer:
     """Span factory wiring durations into metrics and the op profiler."""
 
     def __init__(self, registry=None, op_profiler=None, keep: int = 1024):
+        if keep < 1:
+            raise ValueError("keep must be at least 1")
         self.registry = registry
         self.op_profiler = op_profiler
         self.finished: deque[SpanRecord] = deque(maxlen=keep)
         self._local = threading.local()
+
+    @property
+    def keep(self) -> int:
+        """The retained-span bound of :attr:`finished`."""
+        return self.finished.maxlen
+
+    def resize(self, keep: int) -> None:
+        """Rebound :attr:`finished` to ``keep`` spans, preserving the
+        newest records that fit (long-lived serving processes raise it;
+        memory-tight workers shrink it)."""
+        if keep < 1:
+            raise ValueError("keep must be at least 1")
+        self.finished = deque(self.finished, maxlen=keep)
 
     def _stack(self) -> list:
         stack = getattr(self._local, "stack", None)
@@ -111,6 +129,7 @@ class Tracer:
                 started=span._started,
                 seconds=seconds,
                 depth=span.depth,
+                thread=threading.current_thread().name,
             )
         )
         if self.registry is not None:

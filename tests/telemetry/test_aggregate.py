@@ -1,0 +1,157 @@
+"""Tests for shard snapshot serialization and fleet-wide merging."""
+
+import pytest
+
+from repro.telemetry import (
+    FleetAggregator,
+    MetricsRegistry,
+    registry_snapshot,
+    render_prometheus,
+)
+
+
+def build_shard_registry(forecasts=5, depth=2.0):
+    registry = MetricsRegistry()
+    registry.counter(
+        "serve_forecasts_total", labels={"source": "model"},
+        help="forecasts served",
+    ).inc(forecasts)
+    registry.gauge("serve_queue_depth").set(depth)
+    hist = registry.histogram("serve_batch_seconds", bounds=(0.01, 0.1))
+    for value in (0.005, 0.05, 0.5):
+        hist.observe(value)
+    return registry
+
+
+class TestSnapshot:
+    def test_snapshot_is_plain_picklable_data(self):
+        import pickle
+
+        snapshot = registry_snapshot(build_shard_registry())
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+        kinds = {spec["kind"] for spec in snapshot["instruments"]}
+        assert kinds == {"counter", "gauge", "histogram"}
+
+    def test_snapshot_captures_histogram_tallies(self):
+        snapshot = registry_snapshot(build_shard_registry())
+        (hist,) = [
+            spec for spec in snapshot["instruments"]
+            if spec["kind"] == "histogram"
+        ]
+        assert hist["counts"] == [1, 1, 1]  # 0.005 | 0.05 | overflow 0.5
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(0.555)
+
+
+class TestFleetAggregator:
+    def test_merge_adds_shard_labels(self):
+        aggregator = FleetAggregator()
+        aggregator.ingest(0, registry_snapshot(build_shard_registry(5)))
+        aggregator.ingest(1, registry_snapshot(build_shard_registry(7)))
+        merged = aggregator.merged()
+        assert aggregator.shards() == ["0", "1"]
+        counter_0 = merged.counter(
+            "serve_forecasts_total", labels={"source": "model", "shard": "0"}
+        )
+        counter_1 = merged.counter(
+            "serve_forecasts_total", labels={"source": "model", "shard": "1"}
+        )
+        assert counter_0.value == 5
+        assert counter_1.value == 7
+
+    def test_reingest_is_idempotent_not_additive(self):
+        # Snapshots are cumulative: a duplicated control message must
+        # not double-count.
+        aggregator = FleetAggregator()
+        snapshot = registry_snapshot(build_shard_registry(5))
+        aggregator.ingest(0, snapshot)
+        aggregator.ingest(0, snapshot)
+        merged = aggregator.merged()
+        value = merged.counter(
+            "serve_forecasts_total", labels={"source": "model", "shard": "0"}
+        ).value
+        assert value == 5
+
+    def test_newer_snapshot_replaces_older(self):
+        aggregator = FleetAggregator()
+        aggregator.ingest(0, registry_snapshot(build_shard_registry(5)))
+        aggregator.ingest(0, registry_snapshot(build_shard_registry(9)))
+        assert aggregator.totals(
+            "serve_forecasts_total", {"source": "model"}
+        ) == 9
+
+    def test_base_registry_merges_unlabelled(self):
+        base = MetricsRegistry()
+        base.gauge("serve_fleet_alive_workers").set(2)
+        aggregator = FleetAggregator()
+        aggregator.ingest(0, registry_snapshot(build_shard_registry()))
+        text = render_prometheus(aggregator.merged(base=base))
+        assert "serve_fleet_alive_workers 2" in text  # no shard label
+        assert 'shard="0"' in text
+
+    def test_histograms_merge_per_shard(self):
+        aggregator = FleetAggregator()
+        for shard in (0, 1):
+            aggregator.ingest(shard, registry_snapshot(build_shard_registry()))
+        merged = aggregator.merged()
+        for shard in ("0", "1"):
+            hist = merged.histogram(
+                "serve_batch_seconds", bounds=(0.01, 0.1),
+                labels={"shard": shard},
+            )
+            assert hist.count == 3
+            assert hist.sum == pytest.approx(0.555)
+
+    def test_totals_sums_across_shards(self):
+        aggregator = FleetAggregator()
+        aggregator.ingest(0, registry_snapshot(build_shard_registry(5)))
+        aggregator.ingest(1, registry_snapshot(build_shard_registry(7)))
+        assert aggregator.totals(
+            "serve_forecasts_total", {"source": "model"}
+        ) == 12
+        # Histograms never contribute to totals; unknown names are 0.
+        assert aggregator.totals("serve_batch_seconds") == 0
+        assert aggregator.totals("no_such_metric") == 0
+
+    def test_dead_shard_keeps_its_last_snapshot(self):
+        aggregator = FleetAggregator()
+        aggregator.ingest(0, registry_snapshot(build_shard_registry(5)))
+        aggregator.ingest(1, registry_snapshot(build_shard_registry(7)))
+        # Shard 1 dies; only shard 0 keeps reporting.
+        aggregator.ingest(0, registry_snapshot(build_shard_registry(6)))
+        assert aggregator.totals(
+            "serve_forecasts_total", {"source": "model"}
+        ) == 13
+
+    def test_ingest_rejects_non_snapshots(self):
+        aggregator = FleetAggregator()
+        with pytest.raises(ValueError, match="registry_snapshot"):
+            aggregator.ingest(0, {"bogus": True})
+        with pytest.raises(ValueError, match="registry_snapshot"):
+            aggregator.ingest(0, "not a dict")
+
+    def test_unknown_instrument_kind_rejected_at_merge(self):
+        aggregator = FleetAggregator()
+        aggregator.ingest(0, {"instruments": [
+            {"name": "x", "labels": {}, "help": "", "kind": "summary",
+             "value": 1.0},
+        ]})
+        with pytest.raises(ValueError, match="unknown instrument kind"):
+            aggregator.merged()
+
+    def test_merged_registry_renders_valid_exposition(self):
+        from repro.telemetry import parse_prometheus
+
+        base = MetricsRegistry()
+        base.gauge("slo_error_rate").set(0.01)
+        aggregator = FleetAggregator()
+        for shard in (0, 1):
+            aggregator.ingest(shard, registry_snapshot(build_shard_registry()))
+        series = parse_prometheus(render_prometheus(aggregator.merged(base=base)))
+        shards = {
+            labels["shard"]
+            for samples in series.values()
+            for labels, _value in samples
+            if "shard" in labels
+        }
+        assert shards == {"0", "1"}

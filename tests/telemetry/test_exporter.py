@@ -1,6 +1,13 @@
 """Prometheus text exposition format tests."""
 
-from repro.telemetry import MetricsRegistry, render_prometheus, write_prometheus
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    parse_prometheus,
+    render_prometheus,
+    write_prometheus,
+)
 
 
 def build_registry():
@@ -49,8 +56,94 @@ class TestRender:
         text = render_prometheus(registry)
         assert 'odd_total{k="a\\"b\\\\c"} 1' in text
 
+    def test_newlines_in_labels_cannot_split_the_series_line(self):
+        # An unescaped newline would break the sample across two lines
+        # and corrupt the whole exposition for the scraper.
+        registry = MetricsRegistry()
+        registry.counter("odd_total", labels={"k": "line1\nline2"}).inc()
+        text = render_prometheus(registry)
+        assert 'odd_total{k="line1\\nline2"} 1' in text
+        sample_lines = [
+            line for line in text.splitlines() if not line.startswith("#")
+        ]
+        assert len(sample_lines) == 1
+
+    def test_help_text_escapes_newline_and_backslash(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", help="first\nsecond \\ done").set(1)
+        text = render_prometheus(registry)
+        assert "# HELP g first\\nsecond \\\\ done" in text
+
     def test_empty_registry_renders_empty(self):
         assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestParseRoundTrip:
+    def test_parse_recovers_series_and_values(self):
+        series = parse_prometheus(render_prometheus(build_registry()))
+        assert series["jobs_total"] == [({}, 3.0)]
+        assert series["queue_depth"] == [({}, 2.5)]
+        assert series["latency_seconds_count"] == [({}, 3.0)]
+        buckets = dict(
+            (labels["le"], value)
+            for labels, value in series["latency_seconds_bucket"]
+        )
+        assert buckets == {"0.1": 1.0, "1": 2.0, "+Inf": 3.0}
+
+    def test_hostile_label_values_round_trip(self):
+        hostile = 'new\nline "quoted" back\\slash, brace} eq=ual'
+        registry = MetricsRegistry()
+        registry.counter(
+            "odd_total", labels={"k": hostile, "shard": "0"},
+            help='hostile\nhelp \\ text',
+        ).inc(2)
+        series = parse_prometheus(render_prometheus(registry))
+        ((labels, value),) = series["odd_total"]
+        assert labels == {"k": hostile, "shard": "0"}
+        assert value == 2.0
+
+    def test_multiple_labelled_series_round_trip(self):
+        registry = MetricsRegistry()
+        for shard in ("0", "1"):
+            registry.counter("hits_total", labels={"shard": shard}).inc()
+        series = parse_prometheus(render_prometheus(registry))
+        assert [labels for labels, _ in series["hits_total"]] == [
+            {"shard": "0"}, {"shard": "1"},
+        ]
+
+    @pytest.mark.parametrize(
+        "text, match",
+        [
+            ("# TYPE x summary\nx 1\n", "malformed TYPE"),
+            ("# NOTE whatever\n", "unknown comment"),
+            ("orphan_metric 1\n", "no TYPE header"),
+            ("# TYPE x counter\nx one\n", "malformed sample"),
+            ('# TYPE x counter\nx{k="unterminated} 1\n', "malformed sample"),
+            ('# TYPE x counter\nx{k="bad\\q"} 1\n', "malformed sample"),
+        ],
+    )
+    def test_malformed_expositions_rejected(self, text, match):
+        with pytest.raises(ValueError, match=match):
+            parse_prometheus(text)
+
+    def test_non_cumulative_histogram_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\nh_count 3\n"
+        )
+        with pytest.raises(ValueError, match="not cumulative"):
+            parse_prometheus(text)
+
+    def test_histogram_without_inf_bucket_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 1\n'
+            "h_sum 1\nh_count 1\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_prometheus(text)
 
 
 class TestWrite:

@@ -1,0 +1,142 @@
+"""Tests for run-directory inspection: tailing, trace and fleet summaries."""
+
+import json
+
+from repro.telemetry import (
+    FleetAggregator,
+    MetricsRegistry,
+    RunLogger,
+    follow_events,
+    registry_snapshot,
+    summarize_fleet,
+    summarize_run,
+    summarize_traces,
+    write_prometheus,
+)
+
+
+def write_lines(path, *lines, end="\n"):
+    with open(path, "a") as handle:
+        handle.write("\n".join(lines) + end)
+
+
+class TestFollowEvents:
+    def test_yields_appended_events_in_order(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_lines(path, '{"seq": 1}', '{"seq": 2}')
+        gen = follow_events(tmp_path, poll_seconds=0.01, max_polls=1)
+        assert [event["seq"] for event in gen] == [1, 2]
+
+    def test_truncated_final_line_is_not_parsed_early(self, tmp_path):
+        # Regression: a poll can land mid-write and see half a JSON
+        # line; it must stay unread until the newline arrives.
+        path = tmp_path / "events.jsonl"
+        record = {"seq": 2, "type": "serve_batch", "size": 8}
+        full = json.dumps(record)
+        with open(path, "w") as handle:
+            handle.write('{"seq": 1}\n')
+            handle.write(full[:10])  # writer caught mid-line
+        gen = follow_events(tmp_path, poll_seconds=0.01, max_polls=3)
+        assert next(gen)["seq"] == 1
+        with open(path, "a") as handle:
+            handle.write(full[10:] + "\n")
+        assert next(gen) == record
+
+    def test_partial_line_alone_counts_as_an_empty_poll(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"seq": 1')  # never terminated
+        gen = follow_events(tmp_path, poll_seconds=0.01, max_polls=2)
+        assert list(gen) == []
+
+    def test_missing_file_polls_until_bound(self, tmp_path):
+        gen = follow_events(tmp_path, poll_seconds=0.01, max_polls=2)
+        assert list(gen) == []
+
+
+def emit_traces(run_dir, count=3):
+    logger = RunLogger.to_dir(run_dir)
+    for index in range(count):
+        logger.event(
+            "serve_trace",
+            entity=f"tenant-{index}",
+            request_id=f"req{index:016d}"[:16],
+            trace_id="t" * 16,
+            total_ms=4.0 + index,
+            spans=[
+                {"stage": "router_dispatch", "ms": 0.5, "process": "router",
+                 "thread": "MainThread"},
+                {"stage": "forward", "ms": 3.0, "process": "shard-0",
+                 "thread": "shard-0"},
+            ],
+        )
+    logger.close()
+
+
+class TestSummarizeTraces:
+    def test_renders_decompositions_and_stage_means(self, tmp_path):
+        emit_traces(tmp_path)
+        text = summarize_traces(tmp_path, last=2)
+        # Only the newest `last` traces render in full...
+        assert "tenant-0" not in text
+        assert "tenant-2" in text
+        assert "router_dispatch" in text and "forward" in text
+        # ...but the stage table covers every trace in the run.
+        assert "mean stage latency over 3 traces" in text
+
+    def test_no_traces_is_a_graceful_message(self, tmp_path):
+        logger = RunLogger.to_dir(tmp_path)
+        logger.event("run_start", kind="serve")
+        logger.close()
+        assert "no serve_trace events" in summarize_traces(tmp_path)
+
+
+def build_fleet_dir(run_dir):
+    aggregator = FleetAggregator()
+    for shard, forecasts in ((0, 5), (1, 7)):
+        registry = MetricsRegistry()
+        registry.counter(
+            "serve_forecasts_total", labels={"source": "model"}
+        ).inc(forecasts)
+        registry.histogram("serve_batch_seconds", bounds=(0.01,)).observe(0.005)
+        aggregator.ingest(shard, registry_snapshot(registry))
+    base = MetricsRegistry()
+    base.gauge("serve_fleet_alive_workers").set(2)
+    base.gauge("slo_error_rate").set(0.01)
+    write_prometheus(aggregator.merged(base=base), run_dir)
+
+
+class TestSummarizeFleet:
+    def test_renders_shard_rows_gauges_and_slo_tallies(self, tmp_path):
+        build_fleet_dir(tmp_path)
+        logger = RunLogger.to_dir(tmp_path)
+        logger.event("slo_violation", objective="latency_p99", value=300.0,
+                     target=250.0)
+        logger.event("slo_recovered", objective="latency_p99", value=200.0,
+                     target=250.0)
+        logger.close()
+        text = summarize_fleet(tmp_path)
+        assert "fleet of 2 shards" in text
+        assert "alive workers" in text
+        assert "SLO error rate" in text
+        assert "slo_violation" in text and "slo_recovered" in text
+
+    def test_missing_export_is_a_graceful_message(self, tmp_path):
+        assert "no metrics.prom" in summarize_fleet(tmp_path)
+
+    def test_export_without_shard_labels_is_flagged(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total").inc()
+        write_prometheus(registry, tmp_path)
+        assert "no shard-labelled series" in summarize_fleet(tmp_path)
+
+
+class TestSummarizeRun:
+    def test_slo_transitions_surface_in_the_run_digest(self, tmp_path):
+        logger = RunLogger.to_dir(tmp_path)
+        logger.event("run_start", kind="serve")
+        logger.event("slo_violation", objective="error_rate", value=0.5,
+                     target=0.05)
+        logger.close()
+        text = summarize_run(tmp_path)
+        assert "SLO transitions" in text
+        assert "error_rate" in text

@@ -56,6 +56,16 @@ SAMPLE_PAYLOADS = {
     "swap_rejected": {"candidate_score": 1.4, "live_score": 1.1, "margin": 0.0},
     "maintenance_swap": {"mode": "full", "prototype_version": 3},
     "maintenance_rollback": {"reason": "post-swap mse regressed"},
+    "serve_trace": {
+        "entity": "tenant-a", "request_id": "9f31c2a4d0e85b17",
+        "trace_id": "77aa88bb99cc00dd", "total_ms": 4.812,
+        "spans": [{"stage": "forward", "ms": 3.9, "process": "shard-1",
+                   "thread": "shard-1"}],
+    },
+    "slo_violation": {"objective": "latency_p99", "value": 312.4,
+                      "target": 250.0},
+    "slo_recovered": {"objective": "latency_p99", "value": 201.7,
+                      "target": 250.0},
 }
 
 
@@ -116,6 +126,38 @@ class TestRunLogger:
             logger.event("epoch", epoch=epoch, train_loss=0.1)
         logger.close()
         assert [event["seq"] for event in read_events(tmp_path)] == [1, 2, 3, 4, 5]
+
+    def test_concurrent_emitters_keep_seq_gap_free(self, tmp_path):
+        # A serving host runs trainer, serving, and maintenance threads
+        # against one logger; seq must stay strictly monotonic with no
+        # gaps or duplicates under contention.
+        import threading
+
+        logger = RunLogger.to_dir(tmp_path)
+        per_thread = 50
+        start = threading.Barrier(3)
+
+        def emitter(event_type, payload):
+            start.wait()
+            for _ in range(per_thread):
+                logger.event(event_type, **payload)
+
+        pool = [
+            threading.Thread(target=emitter, name=name, args=args)
+            for name, *args in (
+                ("trainer", "epoch", {"epoch": 0, "train_loss": 0.1}),
+                ("serving", "serve_batch", {"size": 8, "latency_ms": 4.2}),
+                ("maintenance", "maintenance_job",
+                 {"trigger": "drift", "status": "swapped"}),
+            )
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        logger.close()
+        seqs = [event["seq"] for event in read_events(tmp_path)]
+        assert seqs == list(range(1, 3 * per_thread + 1))
 
     def test_null_logger_is_noop(self):
         assert NULL_LOGGER.event("epoch", epoch=0, train_loss=0.1) is None

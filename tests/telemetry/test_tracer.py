@@ -2,6 +2,8 @@
 
 import threading
 
+import pytest
+
 from repro.telemetry import NULL_TRACER, MetricsRegistry, Tracer
 
 
@@ -56,6 +58,45 @@ class TestSpans:
                 pass
         assert len(tracer.finished) == 4
         assert tracer.finished[-1].path == "s9"
+
+    def test_records_carry_the_owning_thread_name(self):
+        tracer = Tracer()
+        with tracer.span("serve"):
+            pass
+
+        def maintenance():
+            with tracer.span("refit"):
+                pass
+
+        thread = threading.Thread(target=maintenance, name="maintenance")
+        thread.start()
+        thread.join()
+        by_name = {record.name: record.thread for record in tracer.finished}
+        assert by_name["serve"] == threading.current_thread().name
+        assert by_name["refit"] == "maintenance"
+
+    def test_keep_bound_is_configurable_and_resizable(self):
+        tracer = Tracer(keep=8)
+        assert tracer.keep == 8
+        for index in range(12):
+            with tracer.span(f"s{index}"):
+                pass
+        tracer.resize(3)
+        assert tracer.keep == 3
+        # Resizing preserves the newest records that fit.
+        assert [record.path for record in tracer.finished] == [
+            "s9", "s10", "s11",
+        ]
+        tracer.resize(16)
+        assert tracer.keep == 16
+        assert len(tracer.finished) == 3
+
+    def test_keep_below_one_rejected(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            Tracer(keep=0)
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="at least 1"):
+            tracer.resize(0)
 
     def test_threads_get_independent_stacks(self):
         tracer = Tracer()

@@ -164,13 +164,45 @@ class TestCommands:
         assert "telemetry" in capsys.readouterr().out
         with open(path) as handle:
             report = json.load(handle)
-        assert report["schema"] == 5
+        assert report["schema"] == 7
         telemetry = report["telemetry"]
         assert telemetry["events_per_s"] > 0
         assert telemetry["off_ms"] > 0 and telemetry["on_ms"] > 0
         # The disabled-telemetry overhead gate CI enforces (<= 2%); allow a
         # little noise headroom here since quick mode uses few rounds.
         assert telemetry["overhead_off_pct"] < 5.0
+        observability = report["fleet_observability"]
+        assert observability["off_per_s"] > 0 and observability["on_per_s"] > 0
+        assert observability["aggregate_ms"] > 0
+        assert observability["merged_series"] > 0
+        assert observability["gate_pct"] == 3.0
+        # Whether the gate *passed* is CI's call (dedicated job, fresh
+        # process); in-suite the measurement inherits the test heap.
+        assert isinstance(observability["meets_overhead_gate"], bool)
+
+    def test_bench_gate_misses_warn_unless_strict(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        from repro.profiling.bench import run_benchmarks
+
+        report = None
+
+        def capture(quick=False):
+            nonlocal report
+            report = run_benchmarks(quick=quick)
+            # Doctor one gate to a miss: default mode warns, strict fails.
+            report["fleet_observability"]["meets_overhead_gate"] = False
+            report["fleet_observability"]["overhead_pct"] = 99.0
+            return report
+
+        monkeypatch.setattr("repro.profiling.bench.run_benchmarks", capture)
+        assert cli.main(["bench", "--quick", "--out", ""]) == 0
+        assert "WARNING: observability plane" in capsys.readouterr().out
+        monkeypatch.setattr(
+            "repro.profiling.bench.run_benchmarks", lambda quick=False: report
+        )
+        assert cli.main(["bench", "--quick", "--strict", "--out", ""]) == 1
+        assert "WARNING: observability plane" in capsys.readouterr().out
 
 
 class TestServeCommand:
