@@ -13,9 +13,11 @@ import numpy as np
 
 from repro.profiling.bench import (
     FLEET_SCALING_GATE,
+    PLAN_SPEEDUP_GATE,
     bench_clustering,
     bench_fleet,
     bench_fleet_observability,
+    bench_plan_engine,
     bench_protoattn,
     bench_serving,
     bench_streaming,
@@ -146,12 +148,32 @@ def test_observability_plane_stays_cheap(benchmark):
     assert result["merged_series"] > 0, result
 
 
+def test_plan_engine_beats_eager_single_window(benchmark):
+    """Replaying the compiled execution plan must clear the >=3x gate on
+    the B=1 latency path, with bit-identical float64 output (the bench
+    itself raises if eager and plan ever disagree)."""
+    result = benchmark.pedantic(
+        bench_plan_engine, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    print()
+    b1 = result["batches"]["1"]
+    print(
+        f"  plan engine: eager {b1['eager_ms']:.3f}ms vs "
+        f"plan {b1['plan_ms']:.3f}ms ({result['speedup_uncached']:.2f}x); "
+        f"{result['plan_ops']} ops ({result['plan_folded']} folded), "
+        f"build {result['build_ms']:.1f}ms"
+    )
+    assert result["bitwise_equal"] is True, result
+    assert result["meets_plan_gate"], result
+    assert result["speedup_uncached"] >= PLAN_SPEEDUP_GATE, result
+
+
 def test_report_is_json_serializable():
     import json
 
     report = run_benchmarks(quick=True)
     encoded = json.loads(json.dumps(report))
-    assert encoded["schema"] == 7
+    assert encoded["schema"] == 8
     assert set(encoded) == {
         "schema",
         "mode",
@@ -164,6 +186,7 @@ def test_report_is_json_serializable():
         "serving",
         "fleet",
         "fleet_observability",
+        "plan_engine",
     }
     assert np.isfinite(encoded["clustering_fit"]["max_abs_diff"])
     assert encoded["serving"]["speedup_batch32"] > 0
@@ -173,3 +196,9 @@ def test_report_is_json_serializable():
     assert observability["gate_pct"] == 3.0
     assert observability["aggregate_ms"] > 0
     assert observability["merged_series"] > 0
+    plan = encoded["plan_engine"]
+    assert plan["gate"] == PLAN_SPEEDUP_GATE == 3.0
+    assert plan["bitwise_equal"] is True
+    assert plan["meets_plan_gate"] == (plan["speedup_uncached"] >= plan["gate"])
+    assert plan["plan_ops"] > 0 and plan["plan_folded"] >= 0
+    assert "1" in plan["batches"]  # JSON stringifies the batch-size keys

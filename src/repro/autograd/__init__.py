@@ -87,6 +87,7 @@ from repro.autograd.shape_ops import (
 )
 from repro.autograd.linalg_ops import matmul, outer
 from repro.autograd.grad_check import gradcheck
+from repro.autograd.capture import GraphCapture, active_capture, capture_graph
 
 __all__ = [
     "Tensor",
@@ -105,6 +106,9 @@ __all__ = [
     "default_dtype",
     "legacy_accumulation",
     "gradcheck",
+    "GraphCapture",
+    "active_capture",
+    "capture_graph",
     # math
     "abs",
     "clip",

@@ -76,7 +76,12 @@ def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
     x = as_tensor(x)
     mask = x.data > 0
     slope = np.where(mask, 1.0, negative_slope)
-    return Tensor._make(x.data * slope, [(x, lambda g: g * slope)], "leaky_relu")
+    return Tensor._make(
+        x.data * slope,
+        [(x, lambda g: g * slope)],
+        "leaky_relu",
+        extras=negative_slope,
+    )
 
 
 def erf(x: Tensor) -> Tensor:
@@ -126,7 +131,7 @@ def clip(x: Tensor, low: float | None = None, high: float | None = None) -> Tens
         inside &= x.data >= low
     if high is not None:
         inside &= x.data <= high
-    return Tensor._make(out_data, [(x, lambda g: g * inside)], "clip")
+    return Tensor._make(out_data, [(x, lambda g: g * inside)], "clip", extras=(low, high))
 
 
 def maximum(a: Tensor, b: Tensor) -> Tensor:

@@ -39,7 +39,7 @@ def sum(x: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
             return np.broadcast_to(g, x.shape)
         return _expand_reduced(g, x.shape, axes)
 
-    return Tensor._make(out_data, [(x, grad_fn)], "sum")
+    return Tensor._make(out_data, [(x, grad_fn)], "sum", extras=(axes, keepdims))
 
 
 def mean(x: Tensor, axis=None, keepdims: bool = False) -> Tensor:
@@ -57,7 +57,7 @@ def mean(x: Tensor, axis=None, keepdims: bool = False) -> Tensor:
             return np.broadcast_to(g, x.shape) / count
         return _expand_reduced(g, x.shape, axes) / count
 
-    return Tensor._make(out_data, [(x, grad_fn)], "mean")
+    return Tensor._make(out_data, [(x, grad_fn)], "mean", extras=(axes, keepdims))
 
 
 def var(x: Tensor, axis=None, keepdims: bool = False, ddof: int = 0) -> Tensor:
@@ -101,7 +101,7 @@ def _extreme(x: Tensor, axis, keepdims: bool, np_fn, name: str) -> Tensor:
             g_keep = np.asarray(g).reshape(reduced_shape)
         return np.broadcast_to(g_keep, x.shape) * mask / counts
 
-    return Tensor._make(out_data, [(x, grad_fn)], name)
+    return Tensor._make(out_data, [(x, grad_fn)], name, extras=(axes, keepdims))
 
 
 def max(x: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
@@ -125,7 +125,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
         dot = (g * out_data).sum(axis=axis, keepdims=True)
         return out_data * (g - dot)
 
-    return Tensor._make(out_data, [(x, grad_fn)], "softmax")
+    return Tensor._make(out_data, [(x, grad_fn)], "softmax", extras=axis)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -139,7 +139,7 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     def grad_fn(g: np.ndarray) -> np.ndarray:
         return g - soft * g.sum(axis=axis, keepdims=True)
 
-    return Tensor._make(out_data, [(x, grad_fn)], "log_softmax")
+    return Tensor._make(out_data, [(x, grad_fn)], "log_softmax", extras=axis)
 
 
 def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
@@ -154,4 +154,4 @@ def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
         g_keep = g if keepdims else np.expand_dims(g, axis=axis)
         return soft * g_keep
 
-    return Tensor._make(out_data, [(x, grad_fn)], "logsumexp")
+    return Tensor._make(out_data, [(x, grad_fn)], "logsumexp", extras=(axis, keepdims))

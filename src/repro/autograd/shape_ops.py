@@ -31,7 +31,10 @@ def transpose(x: Tensor, axes: Sequence[int] | None = None) -> Tensor:
     axes = tuple(axes)
     inverse = tuple(int(i) for i in np.argsort(axes))
     return Tensor._make(
-        x.data.transpose(axes), [(x, lambda g: g.transpose(inverse))], "transpose"
+        x.data.transpose(axes),
+        [(x, lambda g: g.transpose(inverse))],
+        "transpose",
+        extras=axes,
     )
 
 
@@ -42,6 +45,7 @@ def swapaxes(x: Tensor, axis1: int, axis2: int) -> Tensor:
         np.swapaxes(x.data, axis1, axis2),
         [(x, lambda g: np.swapaxes(g, axis1, axis2))],
         "swapaxes",
+        extras=(axis1, axis2),
     )
 
 
@@ -88,7 +92,7 @@ def repeat(x: Tensor, repeats: int, axis: int) -> Tensor:
         reshaped.insert(axis_norm + 1, repeats)
         return g.reshape(reshaped).sum(axis=axis_norm + 1)
 
-    return Tensor._make(out_data, [(x, grad_fn)], "repeat")
+    return Tensor._make(out_data, [(x, grad_fn)], "repeat", extras=(repeats, axis))
 
 
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -106,7 +110,7 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         return lambda g: g[slicer]
 
     parents = [(t, make_grad_fn(i)) for i, t in enumerate(tensors)]
-    return Tensor._make(out_data, parents, "concat")
+    return Tensor._make(out_data, parents, "concat", extras=axis_norm)
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -119,7 +123,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         return lambda g: np.take(g, index, axis=axis_norm)
 
     parents = [(t, make_grad_fn(i)) for i, t in enumerate(tensors)]
-    return Tensor._make(out_data, parents, "stack")
+    return Tensor._make(out_data, parents, "stack", extras=axis_norm)
 
 
 def split(x: Tensor, sections: int, axis: int = 0) -> list[Tensor]:
@@ -175,4 +179,4 @@ def gather(x: Tensor, indices, axis: int = 0) -> Tensor:
         np.add.at(moved, indices, g_moved)
         return full
 
-    return Tensor._make(out_data, [(x, grad_fn)], "gather")
+    return Tensor._make(out_data, [(x, grad_fn)], "gather", extras=(indices, axis))

@@ -34,6 +34,34 @@ _OP_OBSERVER = None
 # gradient/optimizer buffer the engine allocates (see repro.profiling).
 _ALLOC_OBSERVER = None
 
+# Graph capture (repro.autograd.capture / repro.engine): while a capture is
+# active on a thread, every op construction and every leaf-Tensor birth is
+# reported to it so the forward can be lowered to a replayable plan.  The
+# global counter is a fast guard so the uncaptured hot path pays one module
+# lookup instead of a thread-local getattr per op.
+_CAPTURE_COUNT = 0
+_CAPTURE_STATE = threading.local()
+
+
+def active_capture():
+    """Return the GraphCapture recording on this thread, or None."""
+    if _CAPTURE_COUNT == 0:
+        return None
+    return getattr(_CAPTURE_STATE, "capture", None)
+
+
+def _set_capture(capture) -> None:
+    """Install (or clear, with None) this thread's graph capture."""
+    global _CAPTURE_COUNT
+    previous = getattr(_CAPTURE_STATE, "capture", None)
+    if capture is not None and previous is not None:
+        raise RuntimeError("a graph capture is already active on this thread")
+    _CAPTURE_STATE.capture = capture
+    if capture is not None:
+        _CAPTURE_COUNT += 1
+    elif previous is not None:
+        _CAPTURE_COUNT -= 1
+
 
 def set_op_observer(observer) -> None:
     """Install (or clear, with None) the global op observer."""
@@ -216,6 +244,10 @@ class Tensor:
         # list of (parent Tensor, grad_fn: ndarray -> ndarray) pairs
         self._parents: list[tuple["Tensor", Callable[[np.ndarray], np.ndarray]]] = []
         self._op_name: str = "leaf"
+        if _CAPTURE_COUNT:
+            capture = getattr(_CAPTURE_STATE, "capture", None)
+            if capture is not None:
+                capture.record_birth(self)
 
     # ------------------------------------------------------------------
     # Graph construction
@@ -225,8 +257,14 @@ class Tensor:
         data: np.ndarray,
         parents: Sequence[tuple["Tensor", Callable[[np.ndarray], np.ndarray]]],
         op_name: str,
+        extras=None,
     ) -> "Tensor":
-        """Create an op output, wiring in parents when autograd is on."""
+        """Create an op output, wiring in parents when autograd is on.
+
+        ``extras`` carries the non-Tensor op arguments (reduction axes,
+        transpose permutations, clip bounds, ...) that a graph capture
+        needs to replay the op; it is ignored when no capture is active.
+        """
         if _OP_OBSERVER is not None:
             _OP_OBSERVER(
                 op_name,
@@ -239,6 +277,10 @@ class Tensor:
         if out.requires_grad:
             out._parents = tracked
             out._op_name = op_name
+        if _CAPTURE_COUNT:
+            capture = getattr(_CAPTURE_STATE, "capture", None)
+            if capture is not None:
+                capture.record_op(out, [p for p, _ in parents], op_name, extras)
         return out
 
     @classmethod
@@ -250,6 +292,10 @@ class Tensor:
         out.grad = None
         out._parents = []
         out._op_name = "leaf"
+        if _CAPTURE_COUNT:
+            capture = getattr(_CAPTURE_STATE, "capture", None)
+            if capture is not None:
+                capture.record_birth(out)
         return out
 
     # ------------------------------------------------------------------
@@ -508,6 +554,7 @@ class Tensor:
             self.data**exponent,
             [(self, lambda g: g * exponent * self.data ** (exponent - 1))],
             "pow_const",
+            extras=exponent,
         )
 
     def __matmul__(self, other) -> "Tensor":
@@ -555,7 +602,7 @@ class Tensor:
             np.add.at(full, index, g)
             return full
 
-        return Tensor._make(out_data, [(self, grad_fn)], "getitem")
+        return Tensor._make(out_data, [(self, grad_fn)], "getitem", extras=index)
 
     # ------------------------------------------------------------------
     # Method-style access to functional ops
@@ -710,7 +757,19 @@ def tensor(data, requires_grad: bool = False, dtype=None) -> Tensor:
 
 def as_tensor(data) -> Tensor:
     """Coerce to Tensor without copying when already one."""
-    return data if isinstance(data, Tensor) else Tensor(data)
+    if isinstance(data, Tensor):
+        return data
+    out = Tensor(data)
+    if _CAPTURE_COUNT and (
+        np.isscalar(data) or (isinstance(data, np.ndarray) and data.ndim == 0)
+    ):
+        capture = getattr(_CAPTURE_STATE, "capture", None)
+        if capture is not None:
+            # Scalar arguments to functional ops (ag.maximum(x, 0.0),
+            # eps constants) come from the source text, never from the
+            # traced input — safe to bake, same as ``_operand``.
+            capture.bless(out)
+    return out
 
 
 def _operand(value, dtype) -> Tensor:
@@ -724,7 +783,14 @@ def _operand(value, dtype) -> Tensor:
     if isinstance(value, Tensor):
         return value
     if np.isscalar(value) or (isinstance(value, np.ndarray) and value.ndim == 0):
-        return Tensor._wrap(np.asarray(value, dtype=dtype))
+        out = Tensor._wrap(np.asarray(value, dtype=dtype))
+        if _CAPTURE_COUNT:
+            capture = getattr(_CAPTURE_STATE, "capture", None)
+            if capture is not None:
+                # A scalar operand's value comes from the source text (eps,
+                # scale factors), never from the traced input — safe to bake.
+                capture.bless(out)
+        return out
     return Tensor(value)
 
 

@@ -13,6 +13,7 @@ Subcommands::
     python -m repro serve    --replay [--entities 4] [--steps 128] [--shards N]
     python -m repro serve    --replay --maintenance [--shift-after 96]
     python -m repro serve    --replay --shards 2 --trace --slo-p99-ms 250
+    python -m repro serve    --replay --engine plan [--shards N]
 
 All commands operate on the synthetic dataset surrogates (seeded, see
 DESIGN.md) and print plain-text tables.  Model-building commands accept
@@ -331,6 +332,15 @@ def _cmd_bench(args) -> int:
         f"aggregation {obs['aggregate_ms']:.2f}ms/"
         f"{obs['aggregate_shards']}-shard cycle"
     )
+    plan = report["plan_engine"]
+    plan_b1 = plan["batches"]["1"]
+    print(
+        f"  plan engine    : B=1 eager {plan_b1['eager_ms']:.3f}ms vs "
+        f"plan {plan_b1['plan_ms']:.3f}ms ({plan_b1['speedup']:.2f}x, "
+        f"gate >={plan['gate']}x); {plan['plan_ops']} ops, "
+        f"{plan['plan_folded']} folded, arena {plan['arena_kb']:.1f}KB, "
+        f"build {plan['build_ms']:.1f}ms"
+    )
     failed = False
     if not clustering["equivalent_1e8"]:
         print("WARNING: vectorized and loop prototypes diverge beyond 1e-8")
@@ -355,6 +365,12 @@ def _cmd_bench(args) -> int:
         print(
             f"WARNING: observability plane costs {obs['overhead_pct']:+.2f}% "
             f"serving throughput (gate: <={obs['gate_pct']}%)"
+        )
+        failed = True
+    if not plan["meets_plan_gate"]:
+        print(
+            f"WARNING: plan engine is {plan['speedup_uncached']:.2f}x eager "
+            f"on the uncached B=1 path (gate: >={plan['gate']}x)"
         )
         failed = True
     if args.out:
@@ -473,6 +489,7 @@ def _cmd_serve(args) -> int:
             FleetConfig(
                 shards=args.shards,
                 max_batch=args.max_batch,
+                engine=args.engine,
                 nan_policy=args.nan_policy,
                 trace=args.trace,
                 slo=slo,
@@ -511,6 +528,7 @@ def _cmd_serve(args) -> int:
             model,
             ServingConfig(
                 max_batch=args.max_batch,
+                engine=args.engine,
                 queue_capacity=args.queue_capacity,
                 nan_policy=args.nan_policy,
                 trace=args.trace,
@@ -708,6 +726,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--forecast-every", type=int, default=8,
                        help="request a forecast every N steps per entity")
     serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument("--engine", default="eager", choices=["eager", "plan"],
+                       help="forward engine for batched forecasts: 'eager' "
+                            "(reference) or 'plan' (compiled execution plans, "
+                            "bit-identical in float64; see docs/api.md)")
     serve.add_argument("--queue-capacity", type=int, default=256)
     serve.add_argument("--nan-policy", default="reject",
                        choices=["reject", "impute_last", "impute_prototype"])

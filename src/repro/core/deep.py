@@ -45,7 +45,7 @@ class DeepProtoBlock(Module):
         self.act = GELU()
         self.norm2 = LayerNorm(d_model)
 
-    def forward(self, tokens: Tensor, assignment: np.ndarray) -> Tensor:
+    def forward(self, tokens: Tensor, assignment: np.ndarray | Tensor) -> Tensor:
         if tokens.ndim != 3 or tokens.shape[-1] != self.d_model:
             raise ValueError(f"expected (B', l, d={self.d_model}), got {tokens.shape}")
         if assignment.shape != (*tokens.shape[:2], self.num_prototypes):
@@ -53,13 +53,15 @@ class DeepProtoBlock(Module):
                 f"assignment shape {assignment.shape} does not match tokens "
                 f"{tokens.shape[:2]} with k={self.num_prototypes}"
             )
+        if not isinstance(assignment, Tensor):
+            assignment = Tensor(assignment)
         keys = self.w_k(tokens)
         values = self.w_v(tokens)
         scores = ag.matmul(self.proto_queries, ag.swapaxes(keys, -1, -2))
         scores = scores * float(1.0 / np.sqrt(self.d_model))
         attention = ag.softmax(scores, axis=-1)  # (B', k, l)
         context = ag.matmul(attention, values)  # (B', k, d)
-        mixed = ag.matmul(Tensor(assignment), context)  # (B', l, d)
+        mixed = ag.matmul(assignment, context)  # (B', l, d)
         tokens = self.norm1(tokens + mixed)
         tokens = self.norm2(tokens + self.ffn2(self.act(self.ffn1(tokens))))
         return tokens

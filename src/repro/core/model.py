@@ -17,7 +17,9 @@
 
 from __future__ import annotations
 
+import collections
 import dataclasses
+import threading
 
 import numpy as np
 
@@ -104,6 +106,14 @@ class FOCUSForecaster(Module):
         # update_prototype).  The serving ForecastCache keys entries on
         # this so EMA adaptation invalidates stale cached forecasts.
         self._prototype_version = 0
+        # Compiled execution plans (repro.engine), keyed by
+        # (input shape, input dtype, prototype version).  Guarded by a
+        # lock: serving threads share the cache, and a build must not
+        # race a mutation-triggered invalidation.
+        self._plans: "collections.OrderedDict" = collections.OrderedDict()
+        self._plan_lock = threading.Lock()
+        # (key, plan) of the most recent hit, read without the lock.
+        self._last_plan: tuple | None = None
         if prototypes is None:
             # Placeholder prototypes; fit_prototypes() replaces them.
             prototypes = np.zeros(
@@ -175,6 +185,7 @@ class FOCUSForecaster(Module):
                     mixer.invalidate_cache()
         self._has_prototypes = True
         self._prototype_version += 1
+        self._invalidate_plans()
 
     @property
     def prototype_version(self) -> int:
@@ -246,6 +257,7 @@ class FOCUSForecaster(Module):
                 if hasattr(mixer, "invalidate_cache"):
                     mixer.invalidate_cache()
         self._prototype_version += 1
+        self._invalidate_plans()
 
     @classmethod
     def from_training_data(
@@ -339,7 +351,7 @@ class FOCUSForecaster(Module):
             forecast = self.revin.denormalize(forecast)
         return forecast
 
-    def forecast_batch(self, windows: np.ndarray) -> np.ndarray:
+    def forecast_batch(self, windows: np.ndarray, engine: str = "eager") -> np.ndarray:
         """Batched inference: ``(B, L, N)`` windows → ``(B, L_f, N)``.
 
         The serving hot path (:class:`repro.serving.MicroBatcher`): one
@@ -351,6 +363,15 @@ class FOCUSForecaster(Module):
         to a single-window forward of the same window — the invariant the
         serving equivalence suite (``tests/serving``) pins down.
 
+        ``engine`` selects the executor: ``"eager"`` (default) runs the
+        autograd forward and stays the reference implementation;
+        ``"plan"`` replays a compiled :class:`repro.engine.ExecutionPlan`
+        — bit-identical to eager in float64 (``tests/plan`` pins it) but
+        free of per-op Python dispatch.  Plans are traced on first use
+        per (batch shape, dtype, prototype version) and invalidated by
+        ``set_prototypes`` / ``update_prototype`` / ``to_dtype``; per
+        -thread arenas make concurrent replay safe.
+
         Returns a fresh float64 array that aliases no internal buffer.
         """
         windows = np.asarray(windows)
@@ -360,11 +381,90 @@ class FOCUSForecaster(Module):
                 f"expected (B, {cfg.lookback}, {cfg.num_entities}) windows, "
                 f"got {windows.shape}"
             )
-        with ag.no_grad():
-            prediction = self(Tensor(windows)).data
+        if engine == "plan":
+            if windows.dtype.kind != "f":
+                # Mirror Tensor.__init__'s coercion of non-float inputs so
+                # the plan's input signature matches what eager would run.
+                windows = windows.astype(get_default_dtype())
+            prediction = self._plan_for(windows).replay(windows)
+        elif engine == "eager":
+            with ag.no_grad():
+                prediction = self(Tensor(windows)).data
+        else:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose 'eager' or 'plan'"
+            )
         # .astype always copies — serving hands forecasts to callers that
-        # may mutate them, and the engine may reuse forward buffers.
+        # may mutate them, and the engine may reuse forward buffers (the
+        # plan replay returns a per-thread arena buffer).
         return prediction.astype(np.float64)
+
+    # ------------------------------------------------------------------
+    # Plan engine (repro.engine)
+    # ------------------------------------------------------------------
+    #: Plans kept per model; distinct batch shapes and dtypes each need
+    #: their own trace, so serving with ragged batch sizes holds a few.
+    PLAN_CACHE_CAPACITY = 8
+
+    def _plan_for(self, windows: np.ndarray):
+        """Fetch (or trace and compile) the plan for this input signature."""
+        key = (windows.shape, windows.dtype.str, self._prototype_version)
+        # Lock-free fast path for the steady state (same shape, same
+        # bank): safe because the key embeds the prototype version, so a
+        # stale cached pair can never match a post-mutation key.
+        cached = self._last_plan
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        with self._plan_lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self._last_plan = (key, plan)
+                return plan
+            plan = self._trace_plan(windows)
+            # Plans traced under older prototype banks can never hit
+            # again — the version is part of the key — so drop them.
+            for stale in [k for k in self._plans if k[2] != key[2]]:
+                del self._plans[stale]
+            self._plans[key] = plan
+            while len(self._plans) > self.PLAN_CACHE_CAPACITY:
+                self._plans.popitem(last=False)
+            self._last_plan = (key, plan)
+            return plan
+
+    def _trace_plan(self, windows: np.ndarray):
+        """Capture one eager forward on ``windows`` and lower it."""
+        from repro.autograd import capture_graph
+        from repro.engine import compile_plan
+
+        with ag.no_grad(), capture_graph() as capture:
+            traced = Tensor(windows)
+            capture.mark_input(traced)
+            output = self(traced)
+        # compile_plan self-checks: the fresh plan must reproduce the
+        # traced forward bit-for-bit before it is ever served.
+        return compile_plan(capture, [traced], output)
+
+    def plan_stats(self):
+        """Compile stats of the most recently used plan (or ``None``).
+
+        A :class:`repro.engine.PlanStats`; benches and tests read it to
+        report op counts, folded constants, and arena footprint.
+        """
+        cached = self._last_plan
+        return None if cached is None else cached[1].stats
+
+    def _invalidate_plans(self) -> None:
+        with self._plan_lock:
+            self._plans.clear()
+            self._last_plan = None
+
+    def to_dtype(self, dtype) -> "FOCUSForecaster":
+        # Casting replaces parameter/buffer arrays, severing the live
+        # references a compiled plan folded in — retrace from scratch.
+        result = super().to_dtype(dtype)
+        self._invalidate_plans()
+        return result
 
     def dependency_matrix(self) -> np.ndarray:
         """Temporal-branch dependency map from the last forward (Fig. 13)."""

@@ -57,9 +57,9 @@ import numpy as np
 from repro import autograd as ag
 from repro.autograd import Tensor
 
-# Schema 6 is reserved for the fused forecast-plan gate (ROADMAP);
-# schema 7 added the fleet_observability section.
-SCHEMA_VERSION = 7
+# Schema 7 added the fleet_observability section; schema 8 added the
+# plan_engine section (compiled execution plans) and its speedup gate.
+SCHEMA_VERSION = 8
 
 # Pinned dimensions: large enough that the hot paths dominate, small
 # enough that the full benchmark stays under ~1 minute on CPU.
@@ -96,6 +96,21 @@ _SERVE_QUICK = {"lookback": 48, "entities": 4, "segment_length": 12,
 #: Minimum 4-shard/1-shard throughput ratio asserted where the gate is
 #: active (>=4 CPUs; below that, shards cannot scale past the cores).
 FLEET_SCALING_GATE = 2.5
+
+#: Minimum uncached ``forecast_batch`` speedup of the compiled plan
+#: engine over the eager reference on the pinned single-window latency
+#: shape (the path the plan engine exists for; larger batches amortize
+#: eager's dispatch across rows and are reported informationally).
+PLAN_SPEEDUP_GATE = 3.0
+
+# The gate shape is pinned in both modes — a ratio gate flaps if the
+# dims change — so quick mode only trims repetitions.
+_PLAN_FULL = {"lookback": 48, "entities": 4, "segment_length": 12,
+              "num_prototypes": 4, "d_model": 16, "horizon": 24,
+              "batch_sizes": (1, 8), "warmup": 5, "rounds": 7, "reps": 60}
+_PLAN_QUICK = {"lookback": 48, "entities": 4, "segment_length": 12,
+               "num_prototypes": 4, "d_model": 16, "horizon": 24,
+               "batch_sizes": (1, 8), "warmup": 3, "rounds": 5, "reps": 30}
 
 #: Maximum serving-throughput cost of arming the observability plane
 #: (tracing + SLO + metrics registry) relative to telemetry-off.
@@ -791,6 +806,95 @@ def bench_fleet_observability(quick: bool = False) -> dict:
     }
 
 
+def bench_plan_engine(quick: bool = False) -> dict:
+    """Compiled execution-plan replay vs the eager forward.
+
+    One pinned FOCUS model answers identical ``forecast_batch`` calls
+    through both engines, no cache anywhere in the loop, best-of-rounds
+    timing.  The two engines' outputs are asserted bit-identical before
+    anything is timed (the plan compiler additionally self-checks every
+    trace).  The gate — ``speedup_uncached >= PLAN_SPEEDUP_GATE`` — is
+    evaluated on the single-window (B=1) latency path, where per-op
+    Python dispatch dominates the eager forward; larger batches shift
+    time into numpy kernels both engines share and are reported
+    informationally.
+    """
+    from repro.core.model import FOCUSConfig, FOCUSForecaster
+    from repro.nn import init as nn_init
+
+    dims = _PLAN_QUICK if quick else _PLAN_FULL
+    nn_init.seed(0)
+    rng = np.random.default_rng(23)
+    config = FOCUSConfig(
+        lookback=dims["lookback"],
+        horizon=dims["horizon"],
+        num_entities=dims["entities"],
+        segment_length=dims["segment_length"],
+        num_prototypes=dims["num_prototypes"],
+        d_model=dims["d_model"],
+        num_readout=2,
+    )
+    model = FOCUSForecaster(
+        config,
+        prototypes=rng.standard_normal(
+            (dims["num_prototypes"], dims["segment_length"])
+        ),
+    )
+    model.eval()
+
+    batches = {}
+    build_ms = None
+    for batch in dims["batch_sizes"]:
+        windows = rng.standard_normal(
+            (batch, dims["lookback"], dims["entities"])
+        )
+        eager = model.forecast_batch(windows, engine="eager")
+        started = time.perf_counter()
+        planned = model.forecast_batch(windows, engine="plan")
+        traced_in = time.perf_counter() - started
+        if build_ms is None:
+            build_ms = round(traced_in * 1e3, 3)
+        if not np.array_equal(eager, planned, equal_nan=True):
+            raise RuntimeError(
+                f"plan engine diverged from eager at batch {batch}"
+            )
+        best = {}
+        for engine in ("eager", "plan"):
+            for _ in range(dims["warmup"]):
+                model.forecast_batch(windows, engine=engine)
+            fastest = float("inf")
+            for _ in range(dims["rounds"]):
+                started = time.perf_counter()
+                for _ in range(dims["reps"]):
+                    model.forecast_batch(windows, engine=engine)
+                fastest = min(
+                    fastest, (time.perf_counter() - started) / dims["reps"]
+                )
+            best[engine] = fastest
+        batches[str(batch)] = {
+            "eager_ms": round(best["eager"] * 1e3, 4),
+            "plan_ms": round(best["plan"] * 1e3, 4),
+            "speedup": round(best["eager"] / best["plan"], 2),
+        }
+
+    stats = model.plan_stats()
+    gate_speedup = batches[str(dims["batch_sizes"][0])]["speedup"]
+    return {
+        "dims": {k: v for k, v in dims.items() if k != "batch_sizes"},
+        "batch_sizes": list(dims["batch_sizes"]),
+        "build_ms": build_ms,
+        "plan_ops": stats.num_ops,
+        "plan_folded": stats.num_folded,
+        "plan_buffers": stats.num_buffers,
+        "arena_kb": round(stats.arena_bytes / 1024.0, 1),
+        "batches": batches,
+        "bitwise_equal": True,
+        "speedup_uncached": gate_speedup,
+        "gate": PLAN_SPEEDUP_GATE,
+        "meets_plan_gate": bool(gate_speedup >= PLAN_SPEEDUP_GATE),
+    }
+
+
 def run_benchmarks(quick: bool = False) -> dict:
     """Run all hot-path benchmarks; returns the report dict."""
     return {
@@ -805,6 +909,7 @@ def run_benchmarks(quick: bool = False) -> dict:
         "serving": bench_serving(quick),
         "fleet": bench_fleet(quick),
         "fleet_observability": bench_fleet_observability(quick),
+        "plan_engine": bench_plan_engine(quick),
     }
 
 

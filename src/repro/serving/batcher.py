@@ -78,6 +78,7 @@ class MicroBatcher:
         run_logger=None,
         health=None,
         process_name: str = "server",
+        engine: str = "eager",
     ):
         if fallback not in ("persistence", "seasonal"):
             raise ValueError(
@@ -85,7 +86,10 @@ class MicroBatcher:
             )
         if fallback == "seasonal" and (seasonal_period is None or seasonal_period < 1):
             raise ValueError("the seasonal fallback requires a positive seasonal_period")
+        if engine not in ("eager", "plan"):
+            raise ValueError(f"unknown engine {engine!r}; choose 'eager' or 'plan'")
         self.model = model
+        self.engine = engine
         self.model.eval()
         self.cache = cache
         self.fallback = fallback
@@ -238,7 +242,13 @@ class MicroBatcher:
             predictions = None
             finite = None
             try:
-                predictions = self.model.forecast_batch(windows)
+                # The eager default keeps the legacy single-argument call
+                # so forecast_batch stand-ins (tests, wrappers) need not
+                # accept the keyword.
+                if self.engine == "eager":
+                    predictions = self.model.forecast_batch(windows)
+                else:
+                    predictions = self.model.forecast_batch(windows, engine=self.engine)
                 finite = np.isfinite(predictions).all(axis=(1, 2))
             except Exception as error:  # noqa: BLE001 — serving must not crash
                 failure = f"model forward raised {type(error).__name__}: {error}"

@@ -118,6 +118,8 @@ class FleetConfig:
     shards: int = 2
     vnodes: int = 64
     max_batch: int = 32
+    # Forward engine inside every shard worker: "eager" or "plan".
+    engine: str = "eager"
     cache_capacity: int = 512
     use_cache: bool = True
     nan_policy: str = "reject"
@@ -145,6 +147,10 @@ class FleetConfig:
             )
         if self.metrics_every_s < 0:
             raise ValueError("metrics_every_s must be non-negative")
+        if self.engine not in ("eager", "plan"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose 'eager' or 'plan'"
+            )
 
 
 @contextmanager
@@ -709,6 +715,7 @@ class ShardRouter:
         snapshot = self.model.snapshot()
         serving = {
             "max_batch": self.config.max_batch,
+            "engine": self.config.engine,
             "cache_capacity": self.config.cache_capacity,
             "use_cache": self.config.use_cache,
             "nan_policy": self.config.nan_policy,

@@ -66,6 +66,9 @@ class ServingConfig:
 
     max_batch: int = 32
     max_delay_ms: float = 2.0
+    # Forward engine for the batched model call: "eager" (reference) or
+    # "plan" (compiled execution plans, bit-identical in float64).
+    engine: str = "eager"
     queue_capacity: int = 256
     cache_capacity: int = 512
     use_cache: bool = True
@@ -89,6 +92,10 @@ class ServingConfig:
         if self.nan_policy not in NAN_POLICIES:
             raise ValueError(
                 f"unknown nan_policy {self.nan_policy!r}; choose from {NAN_POLICIES}"
+            )
+        if self.engine not in ("eager", "plan"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose 'eager' or 'plan'"
             )
 
 
@@ -153,6 +160,7 @@ class ForecastServer:
             telemetry=telemetry,
             run_logger=run_logger,
             health=self.health,
+            engine=self.config.engine,
         )
         # Observability plane: per-request traces + SLO tracking.  The
         # process name stamps trace spans ("server" locally, "shard-N"

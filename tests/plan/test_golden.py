@@ -1,0 +1,110 @@
+"""Golden regression fixtures for the plan engine, plus the fleet smoke.
+
+``goldens/plan_forecasts.npz`` pins plan-engine forecasts for a seeded
+model on pinned windows, in float64.  Regenerate deliberately with::
+
+    PYTHONPATH=src python -m pytest tests/plan/test_golden.py --regen-goldens
+
+and commit the updated ``.npz``.  Comparisons use ``atol=rtol=1e-9`` so
+the fixture survives last-ulp BLAS differences across machines; the
+in-process plan-vs-eager comparison stays exact (bitwise) regardless.
+
+The fleet smoke pins the end-to-end deployment claim: a 2-shard
+multi-process fleet serving with ``engine="plan"`` returns exactly the
+float64 bytes a single-process *eager* server returns for the same
+traffic — the engine, like sharding, is an implementation detail, never
+a numeric one.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    FleetConfig,
+    ForecastServer,
+    ServingConfig,
+    ShardRouter,
+    replay_fleet,
+    replay_streams,
+)
+
+from .conftest import build_plan_model, make_windows
+
+pytestmark = pytest.mark.plan
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+GOLDEN_PATH = GOLDEN_DIR / "plan_forecasts.npz"
+GOLDEN_BATCHES = (1, 3, 8)
+
+
+def run_scenario():
+    model = build_plan_model()
+    outputs = {}
+    for batch in GOLDEN_BATCHES:
+        windows = make_windows(model, batch, seed=1000 + batch)
+        plan = model.forecast_batch(windows, engine="plan")
+        eager = model.forecast_batch(windows, engine="eager")
+        assert np.array_equal(plan, eager), "plan diverged from eager"
+        outputs[f"windows_{batch}"] = windows
+        outputs[f"forecast_{batch}"] = plan
+    return outputs
+
+
+def test_plan_forecasts_match_golden(regen_goldens):
+    actual = run_scenario()
+    if regen_goldens:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        np.savez_compressed(GOLDEN_PATH, **actual)
+        pytest.skip(f"regenerated {GOLDEN_PATH.name}")
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden fixture {GOLDEN_PATH}; generate it with "
+        "--regen-goldens (see docs/testing.md)"
+    )
+    golden = np.load(GOLDEN_PATH, allow_pickle=False)
+    for batch in GOLDEN_BATCHES:
+        np.testing.assert_allclose(
+            golden[f"windows_{batch}"], actual[f"windows_{batch}"],
+            atol=0, rtol=0, err_msg="seeded windows changed — RNG regression",
+        )
+        np.testing.assert_allclose(
+            golden[f"forecast_{batch}"], actual[f"forecast_{batch}"],
+            atol=1e-9, rtol=1e-9,
+            err_msg=f"plan forecasts drifted at batch {batch}",
+        )
+
+
+def test_scenario_is_deterministic():
+    first = run_scenario()
+    second = run_scenario()
+    for key, value in first.items():
+        np.testing.assert_array_equal(value, second[key])
+
+
+@pytest.mark.fleet
+def test_two_shard_plan_fleet_bit_equals_single_process_eager():
+    model = build_plan_model()
+    cfg = model.config
+    rng = np.random.default_rng(77)
+    streams = {
+        f"smoke-{i}": rng.normal(size=(cfg.lookback + 8, cfg.num_entities))
+        for i in range(5)
+    }
+    reference_server = ForecastServer(
+        build_plan_model(), ServingConfig(engine="eager", use_cache=False)
+    )
+    reference = replay_streams(
+        reference_server,
+        {k: v.copy() for k, v in streams.items()},
+        forecast_every=4,
+    )
+    with ShardRouter(
+        model, FleetConfig(shards=2, engine="plan", use_cache=False)
+    ) as router:
+        sharded = replay_fleet(router, streams, forecast_every=4)
+    assert len(sharded) == len(reference) > 0
+    for single, fleet in zip(reference, sharded):
+        assert fleet.entity == single.entity
+        assert fleet.forecast.dtype == np.float64
+        assert np.array_equal(fleet.forecast, single.forecast)

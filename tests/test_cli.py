@@ -164,7 +164,7 @@ class TestCommands:
         assert "telemetry" in capsys.readouterr().out
         with open(path) as handle:
             report = json.load(handle)
-        assert report["schema"] == 7
+        assert report["schema"] == 8
         telemetry = report["telemetry"]
         assert telemetry["events_per_s"] > 0
         assert telemetry["off_ms"] > 0 and telemetry["on_ms"] > 0
@@ -179,6 +179,11 @@ class TestCommands:
         # Whether the gate *passed* is CI's call (dedicated job, fresh
         # process); in-suite the measurement inherits the test heap.
         assert isinstance(observability["meets_overhead_gate"], bool)
+        plan = report["plan_engine"]
+        assert plan["bitwise_equal"] is True
+        assert plan["gate"] == 3.0
+        assert plan["plan_ops"] > 0
+        assert isinstance(plan["meets_plan_gate"], bool)
 
     def test_bench_gate_misses_warn_unless_strict(self, capsys, monkeypatch):
         import repro.cli as cli
